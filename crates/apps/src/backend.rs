@@ -1,0 +1,184 @@
+//! Backend selection: which (if any) caching layer fronts the RMA window.
+//!
+//! The paper's application experiments compare four configurations:
+//! plain foMPI, CLaMPI *fixed*, CLaMPI *adaptive*, and (for Barnes-Hut)
+//! the ad-hoc *native* block cache of the reference UPC implementation.
+//! [`Backend`] names the configuration and [`AnyWindow`] erases the
+//! wrapper type so the applications are written once.
+
+use clampi::{
+    AccessType, BlockCacheConfig, BlockCacheStats, BlockCachedWindow, CacheStats, CachedWindow,
+    ClampiConfig,
+};
+use clampi_datatype::{Block, FlatLayout};
+use clampi_rma::{Process, Window};
+
+/// Which layer fronts the window.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// Plain RMA (the paper's "foMPI" series).
+    Fompi,
+    /// CLaMPI with the given configuration (fixed or adaptive).
+    Clampi(ClampiConfig),
+    /// The direct-mapped block cache (the paper's "native" series).
+    Native(BlockCacheConfig),
+}
+
+impl Backend {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Backend::Fompi => "foMPI",
+            Backend::Clampi(cfg) => {
+                if cfg.adaptive.is_some() {
+                    "CLaMPI-adaptive"
+                } else {
+                    "CLaMPI-fixed"
+                }
+            }
+            Backend::Native(_) => "native",
+        }
+    }
+}
+
+/// A window fronted by the selected backend.
+#[derive(Debug)]
+pub enum AnyWindow {
+    /// Plain RMA window.
+    Plain(Window),
+    /// CLaMPI-cached window.
+    Clampi(Box<CachedWindow>),
+    /// Block-cached window.
+    Native(Box<BlockCachedWindow>),
+}
+
+impl AnyWindow {
+    /// Collectively creates the window (every rank must call with the same
+    /// backend kind).
+    pub fn create(p: &mut Process, size: usize, backend: &Backend) -> Self {
+        match backend {
+            Backend::Fompi => AnyWindow::Plain(p.win_allocate(size)),
+            Backend::Clampi(cfg) => {
+                AnyWindow::Clampi(Box::new(CachedWindow::create(p, size, cfg.clone())))
+            }
+            Backend::Native(cfg) => {
+                AnyWindow::Native(Box::new(BlockCachedWindow::create(p, size, cfg.clone())))
+            }
+        }
+    }
+
+    /// This rank's exposed region, mutable.
+    pub fn local_mut(&self) -> clampi_rma::MappedWriteGuard<'_> {
+        match self {
+            AnyWindow::Plain(w) => w.local_mut(),
+            AnyWindow::Clampi(w) => w.local_mut(),
+            AnyWindow::Native(w) => w.local_mut(),
+        }
+    }
+
+    /// MPI_Win_lock_all.
+    pub fn lock_all(&mut self, p: &mut Process) {
+        match self {
+            AnyWindow::Plain(w) => w.lock_all(p),
+            AnyWindow::Clampi(w) => w.lock_all(p),
+            AnyWindow::Native(w) => w.lock_all(p),
+        }
+    }
+
+    /// MPI_Win_unlock_all.
+    pub fn unlock_all(&mut self, p: &mut Process) {
+        match self {
+            AnyWindow::Plain(w) => w.unlock_all(p),
+            AnyWindow::Clampi(w) => w.unlock_all(p),
+            AnyWindow::Native(w) => w.unlock_all(p),
+        }
+    }
+
+    /// A *synchronous* contiguous read of `dst.len()` bytes from
+    /// `target`'s region at `disp`: the returned data is safe to consume
+    /// immediately.
+    ///
+    /// - plain window: get + flush (two network waits cannot be avoided);
+    /// - CLaMPI: cached get; the flush is skipped on a hit — the source of
+    ///   the paper's latency win;
+    /// - block cache: fetches whole blocks synchronously on miss.
+    ///
+    /// Returns the CLaMPI access classification when applicable.
+    pub fn get_sync(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+    ) -> Option<AccessType> {
+        let layout = FlatLayout::new(vec![Block {
+            offset: 0,
+            len: dst.len(),
+        }]);
+        match self {
+            AnyWindow::Plain(w) => {
+                w.get_flat(p, dst, target, disp, &layout);
+                w.flush(p, target);
+                None
+            }
+            AnyWindow::Clampi(w) => {
+                let class = w.get_flat(p, dst, target, disp, &layout);
+                if class != Some(AccessType::Hit) {
+                    w.flush(p, target);
+                }
+                class
+            }
+            AnyWindow::Native(w) => {
+                w.get(p, dst, target, disp, &clampi_datatype::Datatype::bytes(dst.len()), 1);
+                None
+            }
+        }
+    }
+
+    /// Explicit cache invalidation (no-op for the plain window).
+    pub fn invalidate(&mut self, p: &mut Process) {
+        match self {
+            AnyWindow::Plain(_) => {}
+            AnyWindow::Clampi(w) => w.invalidate(p),
+            AnyWindow::Native(w) => w.invalidate(),
+        }
+    }
+
+    /// CLaMPI statistics, if this is a CLaMPI window.
+    pub fn clampi_stats(&self) -> Option<CacheStats> {
+        match self {
+            AnyWindow::Clampi(w) => Some(w.stats()),
+            _ => None,
+        }
+    }
+
+    /// Block-cache statistics, if this is a native window.
+    pub fn native_stats(&self) -> Option<BlockCacheStats> {
+        match self {
+            AnyWindow::Native(w) => Some(w.stats()),
+            _ => None,
+        }
+    }
+
+    /// The CLaMPI adaptive resize history, if applicable.
+    pub fn clampi_resize_log(&self) -> Vec<clampi::ResizeEvent> {
+        match self {
+            AnyWindow::Clampi(w) => w
+                .cache()
+                .map(|c| c.resize_log().to_vec())
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Current CLaMPI parameters `(|I_w|, |S_w|)` (for adaptive-convergence
+    /// reporting), if applicable.
+    pub fn clampi_params(&self) -> Option<(usize, usize)> {
+        match self {
+            AnyWindow::Clampi(w) => w
+                .cache()
+                .map(|c| (c.params().index_entries, c.params().storage_bytes)),
+            _ => None,
+        }
+    }
+}

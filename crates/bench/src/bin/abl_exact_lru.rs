@@ -1,0 +1,66 @@
+//! Ablation — the paper's sampled victim selection vs exact LRU.
+//!
+//! The paper approximates recency with a sampled temporal score
+//! (`M = 16` candidates per eviction). This ablation adds an *exact* LRU
+//! (a recency index updated on every hit) and compares all four schemes on
+//! the saturated micro-benchmark: does perfect recency buy enough hit
+//! ratio to pay for the per-hit bookkeeping, and does ignoring position
+//! (as both LRU variants do) cost fragmentation?
+
+use clampi::{CacheParams, ClampiConfig, Mode, VictimScheme};
+use clampi_apps::Backend;
+use clampi_bench::cli::{meta, row, Args};
+use clampi_bench::micro::{run_micro, MicroRunConfig};
+use clampi_bench::summary::mean;
+use clampi_workloads::micro::MicroParams;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("distinct", 1000);
+    let z: usize = args.get("gets", 50_000);
+    let storage: usize = args.get("storage-kb", 1024) << 10;
+    let seed = args.seed();
+
+    meta(&format!(
+        "Ablation: sampled schemes vs exact LRU. N={n}, Z={z}, |Sw|={} KiB, seed {seed}",
+        storage >> 10
+    ));
+    row(&[
+        "scheme",
+        "completion_ms",
+        "hit_ratio",
+        "avg_free_kib",
+        "avg_visited_per_eviction",
+    ]);
+
+    let params = MicroParams {
+        distinct: n,
+        sequence_len: z,
+        ..MicroParams::default()
+    };
+
+    for scheme in VictimScheme::ALL {
+        let r = run_micro(&MicroRunConfig {
+            backend: Backend::Clampi(ClampiConfig::fixed(
+                Mode::AlwaysCache,
+                CacheParams {
+                    index_entries: 2048,
+                    storage_bytes: storage,
+                    victim_scheme: scheme,
+                    ..CacheParams::default()
+                },
+            )),
+            params,
+            seed,
+            sample_every: (z / 100).max(1),
+        });
+        let avg_free = mean(&r.free_trace.iter().map(|&(_, f)| f as f64).collect::<Vec<_>>());
+        row(&[
+            scheme.label().to_string(),
+            format!("{:.3}", r.completion_ns / 1e6),
+            format!("{:.4}", r.stats.hit_ratio()),
+            format!("{:.1}", avg_free / 1024.0),
+            format!("{:.1}", r.stats.avg_visited_per_eviction()),
+        ]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Ablation — the weak-caching design choice (Sec. III-D2).
+//!
+//! The paper bounds every miss to *one* eviction attempt, arguing that
+//! multi-eviction inserts would cost up to O(#cached entries) per get and
+//! that hot data re-tries itself into the cache anyway. This ablation
+//! sweeps the eviction budget on the micro-benchmark with a saturated
+//! storage buffer: larger budgets buy a slightly higher hit ratio at the
+//! cost of more eviction work per miss — and the completion time shows
+//! whether that trade ever pays off.
+
+use clampi::{CacheParams, ClampiConfig, Mode};
+use clampi_apps::Backend;
+use clampi_bench::cli::{meta, row, Args};
+use clampi_bench::micro::{run_micro, MicroRunConfig};
+use clampi_workloads::micro::MicroParams;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("distinct", 1000);
+    let z: usize = args.get("gets", 50_000);
+    let storage: usize = args.get("storage-kb", 1024) << 10;
+    let seed = args.seed();
+
+    meta(&format!(
+        "Ablation: evictions per miss (weak caching = 1). N={n}, Z={z}, |Sw|={} KiB, seed {seed}",
+        storage >> 10
+    ));
+    row(&[
+        "max_evictions_per_miss",
+        "completion_ms",
+        "hit_ratio",
+        "failed_ratio",
+        "evictions",
+        "avg_visited_per_eviction",
+    ]);
+
+    let params = MicroParams {
+        distinct: n,
+        sequence_len: z,
+        ..MicroParams::default()
+    };
+
+    for budget in [1usize, 2, 4, 16, 64] {
+        let r = run_micro(&MicroRunConfig {
+            backend: Backend::Clampi(ClampiConfig::fixed(
+                Mode::AlwaysCache,
+                CacheParams {
+                    index_entries: 2048,
+                    storage_bytes: storage,
+                    max_evictions_per_miss: budget,
+                    ..CacheParams::default()
+                },
+            )),
+            params,
+            seed,
+            sample_every: 0,
+        });
+        let failed_ratio = if r.stats.total_gets == 0 {
+            0.0
+        } else {
+            r.stats.failed as f64 / r.stats.total_gets as f64
+        };
+        row(&[
+            budget.to_string(),
+            format!("{:.3}", r.completion_ns / 1e6),
+            format!("{:.4}", r.stats.hit_ratio()),
+            format!("{:.4}", failed_ratio),
+            r.stats.evictions.to_string(),
+            format!("{:.1}", r.stats.avg_visited_per_eviction()),
+        ]);
+    }
+}

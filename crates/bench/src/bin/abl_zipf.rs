@@ -1,0 +1,99 @@
+//! Ablation — hit ratio under Zipf-skewed key popularity.
+//!
+//! A remote key-value region accessed with Zipf(s)-distributed keys: the
+//! canonical model of the skewed reuse the paper's introduction motivates
+//! caching with. Sweeps the skew exponent against two cache sizes
+//! (a small fraction of the key space vs a larger one) and reports hit
+//! ratio and speedup over plain RMA.
+
+use clampi::{CacheParams, ClampiConfig, Mode};
+use clampi_apps::{AnyWindow, Backend};
+use clampi_bench::cli::{meta, row, Args};
+use clampi_rma::{run_collect, SimConfig};
+use clampi_workloads::Zipf;
+
+struct Outcome {
+    completion_ns: f64,
+    hit_ratio: f64,
+}
+
+fn run_kv(
+    population: usize,
+    value_size: usize,
+    gets: usize,
+    s: f64,
+    backend: Backend,
+    seed: u64,
+) -> Outcome {
+    let out = run_collect(SimConfig::bench(), 2, |p| {
+        let my = if p.rank() == 1 { population * value_size } else { 8 };
+        let mut win = AnyWindow::create(p, my, &backend);
+        p.barrier();
+        let mut res = None;
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut z = Zipf::new(population, s, seed);
+            let mut buf = vec![0u8; value_size];
+            let t0 = p.now();
+            for _ in 0..gets {
+                let key = z.sample();
+                win.get_sync(p, &mut buf, 1, key * value_size);
+            }
+            let completion_ns = p.now() - t0;
+            let hit_ratio = win.clampi_stats().map(|st| st.hit_ratio()).unwrap_or(0.0);
+            win.unlock_all(p);
+            res = Some(Outcome {
+                completion_ns,
+                hit_ratio,
+            });
+        }
+        p.barrier();
+        res
+    });
+    out.into_iter().find_map(|(_, r)| r).expect("rank 0 result")
+}
+
+fn main() {
+    let args = Args::parse();
+    let population: usize = args.get("keys", 20_000);
+    let value_size: usize = args.get("value-bytes", 512);
+    let gets: usize = args.get("gets", 30_000);
+    let seed = args.seed();
+
+    meta(&format!(
+        "Ablation: Zipf key skew ({population} keys x {value_size} B, {gets} gets, seed {seed})"
+    ));
+    row(&[
+        "zipf_s",
+        "cache_frac",
+        "hit_ratio",
+        "clampi_ms",
+        "fompi_ms",
+        "speedup",
+    ]);
+
+    for &s in &[0.0, 0.5, 0.8, 1.0, 1.2, 1.5] {
+        let fompi = run_kv(population, value_size, gets, s, Backend::Fompi, seed);
+        for &frac in &[0.05f64, 0.25] {
+            let cache_bytes =
+                ((population as f64 * frac) as usize * value_size.next_multiple_of(64)).max(64);
+            let backend = Backend::Clampi(ClampiConfig::fixed(
+                Mode::AlwaysCache,
+                CacheParams {
+                    index_entries: ((population as f64 * frac) as usize).max(64) * 2,
+                    storage_bytes: cache_bytes,
+                    ..CacheParams::default()
+                },
+            ));
+            let cached = run_kv(population, value_size, gets, s, backend, seed);
+            row(&[
+                format!("{s:.1}"),
+                format!("{frac:.2}"),
+                format!("{:.4}", cached.hit_ratio),
+                format!("{:.3}", cached.completion_ns / 1e6),
+                format!("{:.3}", fompi.completion_ns / 1e6),
+                format!("{:.2}", fompi.completion_ns / cached.completion_ns),
+            ]);
+        }
+    }
+}

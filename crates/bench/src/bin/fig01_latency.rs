@@ -1,0 +1,92 @@
+//! Fig. 1 — get latency per message size and process/node mapping.
+//!
+//! The paper measures RMA get latency on Piz Daint between processes at
+//! increasing distance in the Cray Cascade hierarchy (same node through
+//! remote Dragonfly group), spanning <100 ns (local DRAM) to 2–3 µs.
+//! This binary prints two latency columns per (distance, size) point:
+//! the closed-form cost model, and the same number *measured* through the
+//! simulator by placing two ranks at that distance (via the topology) and
+//! timing a get+flush on the virtual clock — they must agree, which
+//! validates that the simulator charges what the model says.
+
+use clampi_bench::cli::{meta, row, Args};
+use clampi_datatype::Datatype;
+use clampi_rma::{run_collect, Distance, NetModel, SimConfig, Topology};
+
+/// A two-rank topology in which ranks 0 and 1 sit at `distance`.
+fn topo_for(distance: Distance) -> Topology {
+    match distance {
+        // Self-distance is exercised by targeting rank 0 itself.
+        Distance::SelfRank => Topology::default(),
+        Distance::SameNode => Topology {
+            ranks_per_node: 2,
+            nodes_per_chassis: 16,
+            chassis_per_group: 6,
+        },
+        Distance::SameChassis => Topology {
+            ranks_per_node: 1,
+            nodes_per_chassis: 16,
+            chassis_per_group: 6,
+        },
+        Distance::SameGroup => Topology {
+            ranks_per_node: 1,
+            nodes_per_chassis: 1,
+            chassis_per_group: 6,
+        },
+        Distance::RemoteGroup => Topology {
+            ranks_per_node: 1,
+            nodes_per_chassis: 1,
+            chassis_per_group: 1,
+        },
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let sizes: Vec<usize> = (3..=17).map(|e| 1usize << e).collect(); // 8 B..128 KiB
+
+    meta("Fig. 1: get latency per message size and rank placement");
+    meta("model_us: closed-form cost model; sim_us: measured on the virtual clock");
+    row(&["distance", "size_bytes", "model_us", "sim_us"]);
+
+    for d in Distance::ALL {
+        let topo = topo_for(d);
+        let model = NetModel::with_topology(topo);
+        let peer = if d == Distance::SelfRank { 0 } else { 1 };
+        debug_assert_eq!(model.topology.distance(0, peer), d);
+
+        for &s in &sizes {
+            // The flush's CPU overhead overlaps the in-flight wire time, so
+            // the closed-form latency is cpu + max(wire, sync).
+            let cost = model.transfer_cost_at(d, s, 1);
+            let model_ns = cost.cpu_ns + cost.wire_ns.max(model.sync_cost());
+
+            let cfg = SimConfig::bench().with_netmodel(NetModel::with_topology(topo));
+            let out = run_collect(cfg, 2, move |p| {
+                let mut win = p.win_allocate(s.max(8));
+                p.barrier();
+                let mut t = 0.0;
+                if p.rank() == 0 {
+                    win.lock_all(p);
+                    let mut buf = vec![0u8; s];
+                    let t0 = p.now();
+                    win.get(p, &mut buf, peer, 0, &Datatype::bytes(s), 1);
+                    win.flush(p, peer);
+                    t = p.now() - t0;
+                    win.unlock_all(p);
+                }
+                p.barrier();
+                t
+            });
+            let sim_ns = out[0].1;
+
+            row(&[
+                d.label().to_string(),
+                s.to_string(),
+                format!("{:.3}", model_ns / 1000.0),
+                format!("{:.3}", sim_ns / 1000.0),
+            ]);
+        }
+    }
+    let _ = args.seed(); // deterministic: no randomness in this figure
+}

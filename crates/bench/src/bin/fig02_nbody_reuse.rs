@@ -1,0 +1,60 @@
+//! Fig. 2 — temporal locality of the Barnes-Hut N-body simulation.
+//!
+//! The paper traces an uncached run on 4 processes with 4,000 bodies and
+//! histograms how often the same remote get is repeated: the same remote
+//! data is accessed up to ~3,500 times. This binary reruns that trace on
+//! the simulator and prints the histogram (repetition count → how many
+//! distinct gets repeat that often), bucketed in powers of two.
+
+use std::collections::HashMap;
+
+use clampi_apps::{force_phase, Backend, BhConfig};
+use clampi_bench::cli::{meta, row, Args};
+use clampi_rma::{run_collect, SimConfig};
+use clampi_workloads::plummer;
+
+fn main() {
+    let args = Args::parse();
+    let nbodies: usize = args.get("bodies", 4000);
+    let nranks: usize = args.get("ranks", 4);
+    let seed = args.seed();
+
+    let bodies = plummer(nbodies, seed);
+    let mut cfg = BhConfig::with_backend(Backend::Fompi);
+    cfg.trace_gets = true;
+
+    let out = run_collect(SimConfig::bench(), nranks, |p| force_phase(p, &bodies, &cfg));
+
+    // Repetition count per distinct (initiator, target, node) get.
+    let mut reps: HashMap<(usize, usize, usize), u64> = HashMap::new();
+    for (i, (_, r)) in out.iter().enumerate() {
+        for &(target, node) in &r.trace {
+            *reps.entry((i, target, node)).or_default() += 1;
+        }
+    }
+    let total_gets: u64 = reps.values().sum();
+    let distinct = reps.len();
+    let max_rep = reps.values().copied().max().unwrap_or(0);
+
+    meta(&format!(
+        "Fig. 2: N-body get-repetition histogram ({nbodies} bodies, {nranks} ranks, seed {seed})"
+    ));
+    meta(&format!(
+        "total remote gets {total_gets}, distinct {distinct}, max repetitions {max_rep}"
+    ));
+    row(&["repetitions_bucket", "distinct_gets"]);
+
+    // Power-of-two buckets: 1, 2-3, 4-7, ...
+    let mut hist: HashMap<u32, u64> = HashMap::new();
+    for &c in reps.values() {
+        let bucket = 63 - c.leading_zeros();
+        *hist.entry(bucket).or_default() += 1;
+    }
+    let mut buckets: Vec<_> = hist.into_iter().collect();
+    buckets.sort();
+    for (b, count) in buckets {
+        let lo = 1u64 << b;
+        let hi = (1u64 << (b + 1)) - 1;
+        row(&[format!("{lo}-{hi}"), count.to_string()]);
+    }
+}

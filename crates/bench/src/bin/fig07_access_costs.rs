@@ -1,0 +1,57 @@
+//! Fig. 7 — CLaMPI caching costs per access type and data size.
+//!
+//! For each data size the paper reports the latency of each access type
+//! (hit / direct / conflicting / capacity / failing) next to the plain
+//! foMPI get, with a reference line at 25 % of the foMPI latency; the
+//! headline result is the hit being up to 9.3× (4 KiB) and 3.7× (16 KiB)
+//! faster than foMPI. Latency is issue-to-consumable (hits skip the
+//! flush).
+
+use clampi_bench::access::{measure, Forced};
+use clampi_bench::cli::{meta, row, Args};
+use clampi_bench::summary::median;
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args.get("reps", 32);
+    let seed = args.seed();
+    let sizes: Vec<usize> = vec![16, 64, 256, 1024, 4096, 16384, 65536];
+
+    meta("Fig. 7: per-access-type latency (us) by data size");
+    meta("fompi_25pct is the paper's 25%-of-foMPI reference line");
+    row(&[
+        "size_bytes",
+        "foMPI",
+        "hit",
+        "direct",
+        "conflicting",
+        "capacity",
+        "failing",
+        "fompi_25pct",
+        "hit_speedup",
+    ]);
+
+    for &s in &sizes {
+        let mut med = std::collections::HashMap::new();
+        for kind in Forced::ALL {
+            let lat: Vec<f64> = measure(kind, s, reps, 0.0, seed)
+                .iter()
+                .map(|m| m.latency_ns)
+                .collect();
+            med.insert(kind.label(), median(lat) / 1000.0);
+        }
+        let fompi = med["foMPI"];
+        let hit = med["hit"];
+        row(&[
+            s.to_string(),
+            format!("{:.3}", fompi),
+            format!("{:.3}", hit),
+            format!("{:.3}", med["direct"]),
+            format!("{:.3}", med["conflicting"]),
+            format!("{:.3}", med["capacity"]),
+            format!("{:.3}", med["failing"]),
+            format!("{:.3}", fompi * 0.25),
+            format!("{:.2}", fompi / hit.max(1e-9)),
+        ]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 9 — completion time vs hash-table size, fixed vs adaptive.
+//!
+//! The Sec. IV-A micro-benchmark (N = 1K distinct gets, Z = 20K issued)
+//! replayed with CLaMPI in the *fixed* and *adaptive* strategies while
+//! sweeping the (initial) index size `|I_w|`. A fixed index smaller than N
+//! suffers from conflicting accesses; the adaptive strategy grows the
+//! index at runtime and flattens the curve.
+
+use clampi::{CacheParams, ClampiConfig, Mode};
+use clampi_apps::Backend;
+use clampi_bench::cli::{meta, row, Args};
+use clampi_bench::micro::{run_micro, MicroRunConfig};
+use clampi_workloads::micro::MicroParams;
+
+fn main() {
+    let args = Args::parse();
+    let n: usize = args.get("distinct", 1000);
+    let z: usize = args.get("gets", 20_000);
+    let storage: usize = args.get("storage-mb", 64) << 20;
+    let seed = args.seed();
+
+    let table_sizes: Vec<usize> = vec![200, 300, 400, 600, 800, 1000, 1500, 2000, 4000];
+
+    meta(&format!(
+        "Fig. 9: micro-benchmark completion time vs |Iw| (N={n}, Z={z}, |Sw|={} MiB, seed {seed})",
+        storage >> 20
+    ));
+    meta("adaptive column annotated with invalidations/adjustments and the converged |Iw|");
+    row(&[
+        "index_entries",
+        "fixed_ms",
+        "adaptive_ms",
+        "fixed_conflict_ratio",
+        "adaptive_adjustments",
+        "adaptive_final_iw",
+    ]);
+
+    let params = MicroParams {
+        distinct: n,
+        sequence_len: z,
+        ..MicroParams::default()
+    };
+
+    for &iw in &table_sizes {
+        let cache_params = CacheParams {
+            index_entries: iw,
+            storage_bytes: storage,
+            ..CacheParams::default()
+        };
+        let fixed = run_micro(&MicroRunConfig {
+            backend: Backend::Clampi(ClampiConfig::fixed(Mode::AlwaysCache, cache_params.clone())),
+            params,
+            seed,
+            sample_every: 0,
+        });
+        let adaptive = run_micro(&MicroRunConfig {
+            backend: Backend::Clampi(ClampiConfig::adaptive(Mode::AlwaysCache, cache_params)),
+            params,
+            seed,
+            sample_every: 0,
+        });
+        row(&[
+            iw.to_string(),
+            format!("{:.3}", fixed.completion_ns / 1e6),
+            format!("{:.3}", adaptive.completion_ns / 1e6),
+            format!("{:.4}", fixed.stats.conflict_ratio()),
+            adaptive.stats.adjustments.to_string(),
+            adaptive
+                .final_params
+                .map(|(i, _)| i.to_string())
+                .unwrap_or_default(),
+        ]);
+    }
+}

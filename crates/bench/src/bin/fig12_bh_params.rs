@@ -1,0 +1,117 @@
+//! Fig. 12 — Barnes-Hut force-computation time per body vs cache
+//! parameters.
+//!
+//! The paper fixes P = 16, N = 20K bodies and sweeps `|S_w|` and `|I_w|`,
+//! comparing CLaMPI *adaptive* and *fixed* against the UPC *native* block
+//! cache (same memory) and the plain foMPI run (1.53 ms/body). The
+//! adaptive strategy converges to ~1 MB / 20K entries and wins; the fixed
+//! strategy with a 1K index is limited by conflicting accesses; the
+//! native cache depends strongly on its memory size.
+
+use clampi::{BlockCacheConfig, CacheParams, ClampiConfig, Mode};
+use clampi_apps::{force_phase, Backend, BhConfig, BhResult};
+use clampi_bench::cli::{meta, row, Args};
+use clampi_rma::{run_collect, SimConfig};
+use clampi_workloads::plummer;
+
+fn max_time_per_body(results: &[BhResult]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.time_per_body_us())
+        .fold(0.0, f64::max)
+}
+
+fn run(bodies: &[clampi_workloads::Body], nranks: usize, backend: Backend) -> Vec<BhResult> {
+    let cfg = BhConfig::with_backend(backend);
+    run_collect(SimConfig::bench(), nranks, |p| force_phase(p, bodies, &cfg))
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.paper_scale();
+    let nranks: usize = args.get("ranks", if paper { 16 } else { 8 });
+    let nbodies: usize = args.get("bodies", if paper { 20_000 } else { 5_000 });
+    let seed = args.seed();
+
+    let bodies = plummer(nbodies, seed);
+
+    meta(&format!(
+        "Fig. 12: BH force time per body vs cache parameters (N={nbodies}, P={nranks}, seed {seed})"
+    ));
+
+    let fompi = run(&bodies, nranks, Backend::Fompi);
+    meta(&format!(
+        "foMPI reference: {:.2} us/body (paper: 1530 us/body at paper scale)",
+        max_time_per_body(&fompi)
+    ));
+    row(&[
+        "sw_mb",
+        "iw_entries",
+        "adaptive_us_per_body",
+        "adaptive_adjustments",
+        "adaptive_final_sw_mb",
+        "fixed_us_per_body",
+        "fixed_conflict_ratio",
+        "native_us_per_body",
+    ]);
+
+    let sw_values: Vec<usize> = vec![1 << 20, 2 << 20, 4 << 20];
+    let iw_values: Vec<usize> = vec![1000, 20_000];
+
+    for &sw in &sw_values {
+        for &iw in &iw_values {
+            let params = CacheParams {
+                index_entries: iw,
+                storage_bytes: sw,
+                ..CacheParams::default()
+            };
+            let adaptive = run(
+                &bodies,
+                nranks,
+                Backend::Clampi(ClampiConfig::adaptive(Mode::UserDefined, params.clone())),
+            );
+            let fixed = run(
+                &bodies,
+                nranks,
+                Backend::Clampi(ClampiConfig::fixed(Mode::UserDefined, params)),
+            );
+            let native = run(
+                &bodies,
+                nranks,
+                Backend::Native(BlockCacheConfig {
+                    memory_bytes: sw,
+                    ..BlockCacheConfig::default()
+                }),
+            );
+
+            let adj: u64 = adaptive
+                .iter()
+                .filter_map(|r| r.clampi_stats.map(|s| s.adjustments))
+                .max()
+                .unwrap_or(0);
+            let final_sw = adaptive
+                .iter()
+                .filter_map(|r| r.clampi_params.map(|(_, s)| s))
+                .max()
+                .unwrap_or(sw);
+            let conflict = fixed
+                .iter()
+                .filter_map(|r| r.clampi_stats.map(|s| s.conflict_ratio()))
+                .fold(0.0, f64::max);
+
+            row(&[
+                format!("{}", sw >> 20),
+                iw.to_string(),
+                format!("{:.2}", max_time_per_body(&adaptive)),
+                adj.to_string(),
+                format!("{:.2}", final_sw as f64 / (1 << 20) as f64),
+                format!("{:.2}", max_time_per_body(&fixed)),
+                format!("{:.4}", conflict),
+                format!("{:.2}", max_time_per_body(&native)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Fig. 15 — LCC vertex-processing time vs cache parameters.
+//!
+//! R-MAT graph (paper: 2^20 vertices, 2^24 edges) on P ranks. The *fixed*
+//! strategy with the smaller `|S_w|` is limited by capacity/failed
+//! accesses (~60 % of gets in the paper); doubling the storage brings the
+//! 5× speedup over foMPI. The *adaptive* strategy reaches the best fixed
+//! configuration from any starting point, paying one invalidation per
+//! adjustment.
+
+use clampi::{CacheParams, ClampiConfig, Mode};
+use clampi_apps::{lcc_phase, Backend, LccConfig, LccResult};
+use clampi_bench::cli::{meta, row, Args};
+use clampi_rma::{run_collect, SimConfig};
+use clampi_workloads::{Csr, RmatParams};
+
+fn run(graph: &Csr, nranks: usize, backend: Backend) -> Vec<LccResult> {
+    let cfg = LccConfig::with_backend(backend);
+    run_collect(SimConfig::bench(), nranks, |p| lcc_phase(p, graph, &cfg))
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+fn tpv(results: &[LccResult]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.time_per_vertex_us())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.paper_scale();
+    let scale: u32 = args.get("scale", if paper { 20 } else { 15 });
+    let ef: usize = args.get("edge-factor", 16);
+    let nranks: usize = args.get("ranks", if paper { 32 } else { 8 });
+    let seed = args.seed();
+
+    let sw_values: Vec<usize> = if paper {
+        vec![64 << 20, 128 << 20]
+    } else {
+        vec![2 << 20, 4 << 20]
+    };
+    let iw_values: Vec<usize> = if paper {
+        vec![128 << 10, 256 << 10]
+    } else {
+        vec![16 << 10, 32 << 10]
+    };
+
+    let graph = Csr::rmat(RmatParams::graph500(scale, ef), seed);
+
+    meta(&format!(
+        "Fig. 15: LCC vertex time vs cache parameters (R-MAT 2^{scale} v, EF {ef}, P={nranks}, seed {seed})"
+    ));
+    let fompi = tpv(&run(&graph, nranks, Backend::Fompi));
+    meta(&format!("foMPI reference: {fompi:.2} us/vertex"));
+    row(&[
+        "sw_mb",
+        "iw_entries",
+        "fixed_us_per_vertex",
+        "fixed_capacity_ratio",
+        "fixed_conflict_ratio",
+        "adaptive_us_per_vertex",
+        "adaptive_adjustments",
+        "adaptive_final_sw_mb",
+        "best_speedup_vs_foMPI",
+    ]);
+
+    for &sw in &sw_values {
+        for &iw in &iw_values {
+            let params = CacheParams {
+                index_entries: iw,
+                storage_bytes: sw,
+                ..CacheParams::default()
+            };
+            let fixed = run(
+                &graph,
+                nranks,
+                Backend::Clampi(ClampiConfig::fixed(Mode::AlwaysCache, params.clone())),
+            );
+            let adaptive = run(
+                &graph,
+                nranks,
+                Backend::Clampi(ClampiConfig::adaptive(Mode::AlwaysCache, params)),
+            );
+            let cap = fixed
+                .iter()
+                .filter_map(|r| r.clampi_stats.map(|s| s.capacity_ratio()))
+                .fold(0.0, f64::max);
+            let conf = fixed
+                .iter()
+                .filter_map(|r| r.clampi_stats.map(|s| s.conflict_ratio()))
+                .fold(0.0, f64::max);
+            let adj: u64 = adaptive
+                .iter()
+                .filter_map(|r| r.clampi_stats.map(|s| s.adjustments))
+                .max()
+                .unwrap_or(0);
+            let final_sw = adaptive
+                .iter()
+                .filter_map(|r| r.clampi_params.map(|(_, s)| s))
+                .max()
+                .unwrap_or(sw);
+            let t_fixed = tpv(&fixed);
+            let t_adapt = tpv(&adaptive);
+            row(&[
+                format!("{}", sw >> 20),
+                iw.to_string(),
+                format!("{t_fixed:.2}"),
+                format!("{cap:.4}"),
+                format!("{conf:.4}"),
+                format!("{t_adapt:.2}"),
+                adj.to_string(),
+                format!("{}", final_sw >> 20),
+                format!("{:.2}", fompi / t_fixed.min(t_adapt).max(1e-9)),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Fig. 17 — LCC weak scaling.
+//!
+//! `|V| = P · 2^15` vertices, edge factor 16, P from 16 to 128 in the
+//! paper (scaled down by default). `|I_w| = 128K`, `|S_w| = 128 MB` fixed
+//! and as the adaptive start. Growing the graph with P keeps the gets per
+//! process constant but grows the average get size, so the fixed strategy
+//! accumulates capacity/failed accesses while the adaptive one resizes
+//! `|S_w|`; both converge toward foMPI at large P as data reuse drops.
+
+use clampi::{CacheParams, ClampiConfig, Mode};
+use clampi_apps::{lcc_phase, Backend, LccConfig, LccResult};
+use clampi_bench::cli::{meta, row, Args};
+use clampi_rma::{run_collect, SimConfig};
+use clampi_workloads::{Csr, RmatParams};
+
+fn run(graph: &Csr, nranks: usize, backend: Backend) -> Vec<LccResult> {
+    let cfg = LccConfig::with_backend(backend);
+    run_collect(SimConfig::bench(), nranks, |p| lcc_phase(p, graph, &cfg))
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
+}
+
+fn tpv(results: &[LccResult]) -> f64 {
+    results
+        .iter()
+        .map(|r| r.time_per_vertex_us())
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.paper_scale();
+    let verts_per_pe_log2: u32 = args.get("verts-per-pe-log2", if paper { 15 } else { 11 });
+    let ef: usize = args.get("edge-factor", 16);
+    let seed = args.seed();
+    let ranks: Vec<usize> = if paper {
+        vec![16, 32, 64, 128]
+    } else {
+        vec![4, 8, 16, 32]
+    };
+    let params = CacheParams {
+        index_entries: if paper { 128 << 10 } else { 16 << 10 },
+        storage_bytes: if paper { 128 << 20 } else { 2 << 20 },
+        ..CacheParams::default()
+    };
+
+    meta(&format!(
+        "Fig. 17: LCC weak scaling, 2^{verts_per_pe_log2} vertices/PE, EF {ef}, |Iw|={}, |Sw|={} MiB (seed {seed})",
+        params.index_entries,
+        params.storage_bytes >> 20
+    ));
+    row(&[
+        "ranks",
+        "vertices",
+        "foMPI_us_per_vertex",
+        "fixed_us_per_vertex",
+        "adaptive_us_per_vertex",
+        "adaptive_adjustments",
+        "adaptive_final_sw_mb",
+    ]);
+
+    for &p in &ranks {
+        let nv = p << verts_per_pe_log2;
+        let scale = (nv as f64).log2().ceil() as u32;
+        let graph = Csr::rmat(
+            RmatParams {
+                scale,
+                edges: ef * nv,
+                a: 0.57,
+                b: 0.19,
+                c: 0.19,
+            },
+            seed,
+        );
+        let fompi = tpv(&run(&graph, p, Backend::Fompi));
+        let fixed = tpv(&run(
+            &graph,
+            p,
+            Backend::Clampi(ClampiConfig::fixed(Mode::AlwaysCache, params.clone())),
+        ));
+        let adaptive_r = run(
+            &graph,
+            p,
+            Backend::Clampi(ClampiConfig::adaptive(Mode::AlwaysCache, params.clone())),
+        );
+        let adaptive = tpv(&adaptive_r);
+        let adj: u64 = adaptive_r
+            .iter()
+            .filter_map(|r| r.clampi_stats.map(|s| s.adjustments))
+            .max()
+            .unwrap_or(0);
+        let final_sw = adaptive_r
+            .iter()
+            .filter_map(|r| r.clampi_params.map(|(_, s)| s))
+            .max()
+            .unwrap_or(params.storage_bytes);
+        row(&[
+            p.to_string(),
+            graph.num_vertices().to_string(),
+            format!("{fompi:.2}"),
+            format!("{fixed:.2}"),
+            format!("{adaptive:.2}"),
+            adj.to_string(),
+            format!("{}", final_sw >> 20),
+        ]);
+    }
+}

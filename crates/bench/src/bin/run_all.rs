@@ -1,0 +1,71 @@
+//! Runs every figure and ablation binary, teeing each output into
+//! `results/<name>.tsv` — one command to regenerate the whole evaluation.
+//!
+//! Flags are forwarded to every binary (e.g. `--paper`, `--seed 7`).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig01_latency",
+    "fig02_nbody_reuse",
+    "fig03_lcc_sizes",
+    "fig07_access_costs",
+    "fig08_overlap",
+    "fig09_adaptive",
+    "fig10_fragmentation",
+    "fig11_victim_stats",
+    "fig12_bh_params",
+    "fig13_bh_stats",
+    "fig14_bh_weak",
+    "fig15_lcc_params",
+    "fig16_lcc_stats",
+    "fig17_lcc_weak",
+    "fig18_lcc_weak_stats",
+    "abl_weak_caching",
+    "abl_sample_size",
+    "abl_exact_lru",
+    "trace_tune",
+];
+
+fn main() {
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("own path");
+    let bindir = me.parent().expect("bin dir").to_path_buf();
+    let results = PathBuf::from("results");
+    std::fs::create_dir_all(&results).expect("create results/");
+
+    let mut failures = 0;
+    for name in BINARIES {
+        let exe = bindir.join(name);
+        if !exe.exists() {
+            eprintln!("[skip] {name}: not built (cargo build --release -p clampi-bench)");
+            failures += 1;
+            continue;
+        }
+        let started = std::time::Instant::now();
+        eprint!("[run ] {name} ... ");
+        let out = Command::new(&exe)
+            .args(&forwarded)
+            .output()
+            .unwrap_or_else(|e| panic!("spawning {name}: {e}"));
+        if !out.status.success() {
+            eprintln!("FAILED ({})", out.status);
+            failures += 1;
+            continue;
+        }
+        let path = results.join(format!("{name}.tsv"));
+        std::fs::write(&path, &out.stdout).expect("write results");
+        eprintln!(
+            "ok ({:.1}s, {} lines -> {})",
+            started.elapsed().as_secs_f64(),
+            out.stdout.iter().filter(|&&b| b == b'\n').count(),
+            path.display()
+        );
+    }
+    if failures > 0 {
+        eprintln!("{failures} binaries failed or were missing");
+        std::process::exit(1);
+    }
+    eprintln!("all outputs regenerated under results/");
+}

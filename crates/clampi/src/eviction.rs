@@ -1,0 +1,156 @@
+//! Victim-selection scores (Sec. III-C2 and III-D1).
+//!
+//! Each cache entry `x` is scored by:
+//!
+//! - a **temporal** score `R_T(x) = x.last / i` — the LRU-like recency
+//!   ratio between the sequence number of the last get that matched `x`
+//!   and the current get sequence number `i`;
+//! - a **positional** score `R_P(x) = min(|ags - d_x| / ags, 1)` — how far
+//!   the free space adjacent to `x` (`d_x`) is from the running average get
+//!   size (`ags`): evicting an entry whose adjacent free space is close to
+//!   `ags` is likely to open a usable hole;
+//! - the **full** score `R(x) = R_P(x) · R_T(x)`.
+//!
+//! The eviction procedure selects the *lowest* score among a sample of
+//! entries. The paper's Figs. 10–11 ablate the three schemes; the
+//! [`VictimScheme`] enum selects which one is active.
+
+/// Which score drives victim selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum VictimScheme {
+    /// `R = R_P · R_T` (the paper's proposal; default).
+    #[default]
+    Full,
+    /// LRU-like: `R = R_T` only.
+    Temporal,
+    /// Fragmentation-only: `R = R_P`.
+    Positional,
+    /// Exact least-recently-used eviction via a recency index — an
+    /// ablation baseline beyond the paper (the paper approximates LRU
+    /// with the sampled `R_T`): perfect victim recency at the price of a
+    /// recency-structure update on every hit.
+    ExactLru,
+}
+
+impl VictimScheme {
+    /// Stable label used by the figure binaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VictimScheme::Full => "full",
+            VictimScheme::Temporal => "temporal",
+            VictimScheme::Positional => "positional",
+            VictimScheme::ExactLru => "exact-lru",
+        }
+    }
+
+    /// All schemes in reporting order.
+    pub const ALL: [VictimScheme; 4] = [
+        VictimScheme::Full,
+        VictimScheme::Temporal,
+        VictimScheme::Positional,
+        VictimScheme::ExactLru,
+    ];
+
+    /// The three sampled schemes of the paper's Figs. 10-11.
+    pub const SAMPLED: [VictimScheme; 3] = [
+        VictimScheme::Full,
+        VictimScheme::Temporal,
+        VictimScheme::Positional,
+    ];
+}
+
+/// The temporal score `R_T = last / now` (both 1-based get sequence
+/// numbers). 1.0 when `now` is 0 (nothing processed yet).
+pub fn temporal_score(last: u64, now: u64) -> f64 {
+    if now == 0 {
+        1.0
+    } else {
+        last as f64 / now as f64
+    }
+}
+
+/// The positional score `R_P = min(|ags - d_c| / ags, 1)`.
+///
+/// Lower means "evicting this entry likely frees a hole of about the size
+/// the workload is asking for". When `ags` is not yet meaningful (<= 0),
+/// every entry scores 1 (position carries no information).
+pub fn positional_score(ags: f64, adjacent_free: usize) -> f64 {
+    if ags <= 0.0 {
+        return 1.0;
+    }
+    ((ags - adjacent_free as f64).abs() / ags).min(1.0)
+}
+
+/// The combined score for `scheme`.
+pub fn score(scheme: VictimScheme, r_p: f64, r_t: f64) -> f64 {
+    match scheme {
+        VictimScheme::Full => r_p * r_t,
+        // ExactLru uses its recency index for capacity evictions; on the
+        // (scored) conflicting path it falls back to pure recency.
+        VictimScheme::Temporal | VictimScheme::ExactLru => r_t,
+        VictimScheme::Positional => r_p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn temporal_score_is_recency_ratio() {
+        assert_eq!(temporal_score(50, 100), 0.5);
+        assert_eq!(temporal_score(100, 100), 1.0);
+        assert_eq!(temporal_score(0, 0), 1.0);
+    }
+
+    #[test]
+    fn recently_used_entries_score_higher() {
+        let old = temporal_score(10, 1000);
+        let fresh = temporal_score(990, 1000);
+        assert!(fresh > old);
+    }
+
+    #[test]
+    fn positional_score_minimized_when_adjacent_matches_ags() {
+        let ags = 1024.0;
+        let exact = positional_score(ags, 1024);
+        let off = positional_score(ags, 0);
+        let far = positional_score(ags, 10_000);
+        assert_eq!(exact, 0.0);
+        assert_eq!(off, 1.0);
+        assert_eq!(far, 1.0, "clamped at 1");
+        assert!(positional_score(ags, 768) < positional_score(ags, 256));
+    }
+
+    #[test]
+    fn positional_score_degenerate_ags() {
+        assert_eq!(positional_score(0.0, 500), 1.0);
+        assert_eq!(positional_score(-1.0, 0), 1.0);
+    }
+
+    #[test]
+    fn full_score_is_product_and_bounded() {
+        for &(rp, rt) in &[(0.0, 1.0), (1.0, 0.0), (0.5, 0.5), (1.0, 1.0)] {
+            let s = score(VictimScheme::Full, rp, rt);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(s, rp * rt);
+        }
+    }
+
+    #[test]
+    fn schemes_project_the_right_component() {
+        assert_eq!(score(VictimScheme::Temporal, 0.2, 0.9), 0.9);
+        assert_eq!(score(VictimScheme::Positional, 0.2, 0.9), 0.2);
+        assert_eq!(score(VictimScheme::Full, 0.2, 0.9), 0.2 * 0.9);
+    }
+
+    #[test]
+    fn full_scheme_prefers_old_and_well_positioned() {
+        // Entry A: old and adjacent space ~ ags -> very low score (victim).
+        // Entry B: recent and badly positioned -> high score (kept).
+        let ags = 512.0;
+        let a = score(VictimScheme::Full, positional_score(ags, 512), temporal_score(10, 1000));
+        let b = score(VictimScheme::Full, positional_score(ags, 0), temporal_score(950, 1000));
+        assert!(a < b);
+    }
+}

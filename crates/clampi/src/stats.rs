@@ -1,0 +1,235 @@
+//! Cache statistics: the counters behind the paper's Figs. 11, 13, 16, 18.
+//!
+//! Every `get_c` processed by the caching layer is classified into exactly
+//! one access type (the paper's Sec. III-B):
+//!
+//! - **hit** — the lookup returned a `CACHED` or `PENDING` entry covering
+//!   the request (no network);
+//! - **direct** — a miss that was cached without any eviction;
+//! - **conflicting** — a miss whose Cuckoo insertion failed, evicting an
+//!   entry on the insertion path;
+//! - **capacity** — a miss that required a storage eviction which freed
+//!   enough space;
+//! - **failed** — a miss that could not be cached (the get itself still
+//!   succeeds: weak caching).
+
+/// The classification of one processed `get_c`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Served from cache (full hit on a CACHED or PENDING entry).
+    Hit,
+    /// Cached with no eviction.
+    Direct,
+    /// Cached after an index (Cuckoo insertion path) eviction.
+    Conflicting,
+    /// Cached after a storage eviction freed enough space.
+    Capacity,
+    /// Not cached: no resources even after one eviction attempt.
+    Failed,
+}
+
+impl AccessType {
+    /// Stable label used by the figure binaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AccessType::Hit => "hit",
+            AccessType::Direct => "direct",
+            AccessType::Conflicting => "conflicting",
+            AccessType::Capacity => "capacity",
+            AccessType::Failed => "failed",
+        }
+    }
+
+    /// All access types in reporting order.
+    pub const ALL: [AccessType; 5] = [
+        AccessType::Hit,
+        AccessType::Direct,
+        AccessType::Conflicting,
+        AccessType::Capacity,
+        AccessType::Failed,
+    ];
+}
+
+/// Aggregated counters for one caching layer `C_w`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Total `get_c` operations processed.
+    pub total_gets: u64,
+    /// Full hits (includes hits on PENDING entries).
+    pub hits: u64,
+    /// Partial hits: key matched but the request exceeded the cached size;
+    /// these are *also* counted in direct/conflicting/capacity/failed
+    /// according to how the extension allocation went.
+    pub partial_hits: u64,
+    /// Misses cached without eviction.
+    pub direct: u64,
+    /// Misses that evicted along the Cuckoo insertion path.
+    pub conflicting: u64,
+    /// Misses that evicted for space and then fit.
+    pub capacity: u64,
+    /// Misses that could not be cached.
+    pub failed: u64,
+    /// Storage (capacity) eviction procedures executed.
+    pub evictions: u64,
+    /// Index slots visited across all capacity evictions (`v_i` summed).
+    pub visited_slots: u64,
+    /// Non-empty slots among the visited ones (numerator of the paper's
+    /// sparsity signal `q`).
+    pub visited_nonempty: u64,
+    /// Cache invalidations (epoch closures in transparent mode, explicit
+    /// invalidates, and adaptive adjustments).
+    pub invalidations: u64,
+    /// Adaptive parameter adjustments performed.
+    pub adjustments: u64,
+    /// Payload bytes served from cache.
+    pub bytes_from_cache: u64,
+    /// Payload bytes fetched over the network by `get_c` calls.
+    pub bytes_from_network: u64,
+}
+
+impl CacheStats {
+    /// Records one classified access.
+    pub fn record(&mut self, t: AccessType) {
+        self.total_gets += 1;
+        match t {
+            AccessType::Hit => self.hits += 1,
+            AccessType::Direct => self.direct += 1,
+            AccessType::Conflicting => self.conflicting += 1,
+            AccessType::Capacity => self.capacity += 1,
+            AccessType::Failed => self.failed += 1,
+        }
+    }
+
+    /// The counter value for `t`.
+    pub fn count(&self, t: AccessType) -> u64 {
+        match t {
+            AccessType::Hit => self.hits,
+            AccessType::Direct => self.direct,
+            AccessType::Conflicting => self.conflicting,
+            AccessType::Capacity => self.capacity,
+            AccessType::Failed => self.failed,
+        }
+    }
+
+    /// Hit ratio over all processed gets (0 if none).
+    pub fn hit_ratio(&self) -> f64 {
+        ratio(self.hits, self.total_gets)
+    }
+
+    /// The paper's conflict signal: `conflicting / total_gets`.
+    pub fn conflict_ratio(&self) -> f64 {
+        ratio(self.conflicting, self.total_gets)
+    }
+
+    /// The paper's capacity signal: `(capacity + failed) / total_gets`.
+    pub fn capacity_ratio(&self) -> f64 {
+        ratio(self.capacity + self.failed, self.total_gets)
+    }
+
+    /// The paper's sparsity signal `q`: non-empty / total visited entries
+    /// during capacity evictions (1.0 when no eviction has run, i.e. the
+    /// index is not known to be sparse).
+    pub fn eviction_density(&self) -> f64 {
+        if self.visited_slots == 0 {
+            1.0
+        } else {
+            self.visited_nonempty as f64 / self.visited_slots as f64
+        }
+    }
+
+    /// Average index slots visited per capacity eviction.
+    pub fn avg_visited_per_eviction(&self) -> f64 {
+        ratio(self.visited_slots, self.evictions)
+    }
+
+    /// Difference of counters (self - earlier), for interval-based signals.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            total_gets: self.total_gets - earlier.total_gets,
+            hits: self.hits - earlier.hits,
+            partial_hits: self.partial_hits - earlier.partial_hits,
+            direct: self.direct - earlier.direct,
+            conflicting: self.conflicting - earlier.conflicting,
+            capacity: self.capacity - earlier.capacity,
+            failed: self.failed - earlier.failed,
+            evictions: self.evictions - earlier.evictions,
+            visited_slots: self.visited_slots - earlier.visited_slots,
+            visited_nonempty: self.visited_nonempty - earlier.visited_nonempty,
+            invalidations: self.invalidations - earlier.invalidations,
+            adjustments: self.adjustments - earlier.adjustments,
+            bytes_from_cache: self.bytes_from_cache - earlier.bytes_from_cache,
+            bytes_from_network: self.bytes_from_network - earlier.bytes_from_network,
+        }
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_each_type_once() {
+        let mut s = CacheStats::default();
+        for t in AccessType::ALL {
+            s.record(t);
+        }
+        assert_eq!(s.total_gets, 5);
+        for t in AccessType::ALL {
+            assert_eq!(s.count(t), 1, "{t:?}");
+        }
+    }
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.conflict_ratio(), 0.0);
+        assert_eq!(s.capacity_ratio(), 0.0);
+        assert_eq!(s.eviction_density(), 1.0);
+        assert_eq!(s.avg_visited_per_eviction(), 0.0);
+    }
+
+    #[test]
+    fn capacity_ratio_includes_failed() {
+        let mut s = CacheStats::default();
+        s.record(AccessType::Capacity);
+        s.record(AccessType::Failed);
+        s.record(AccessType::Hit);
+        s.record(AccessType::Hit);
+        assert_eq!(s.capacity_ratio(), 0.5);
+        assert_eq!(s.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let mut a = CacheStats::default();
+        a.record(AccessType::Hit);
+        let snapshot = a;
+        a.record(AccessType::Direct);
+        a.record(AccessType::Hit);
+        let d = a.delta_since(&snapshot);
+        assert_eq!(d.total_gets, 2);
+        assert_eq!(d.hits, 1);
+        assert_eq!(d.direct, 1);
+    }
+
+    #[test]
+    fn eviction_density_counts_nonempty_fraction() {
+        let s = CacheStats {
+            evictions: 2,
+            visited_slots: 40,
+            visited_nonempty: 10,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.eviction_density(), 0.25);
+        assert_eq!(s.avg_visited_per_eviction(), 20.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! AVL tree indexing free storage regions by size (best-fit search).
+//!
+//! The paper (Sec. III-C2) indexes free memory regions with an AVL tree
+//! using their sizes as keys, so a best-fit allocation is an `O(log N)`
+//! successor search. Keys here are `(len, offset)` pairs — the offset
+//! disambiguates equal-sized regions and makes keys unique, while
+//! preserving "smallest sufficient region first" order.
+
+type NodeId = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: (usize, usize), // (region length, region offset)
+    desc: u32,           // descriptor id of the free region
+    left: Option<NodeId>,
+    right: Option<NodeId>,
+    height: i32,
+}
+
+/// An AVL tree of free regions keyed by `(len, offset)`.
+#[derive(Debug, Default)]
+pub struct FreeTree {
+    nodes: Vec<Node>,
+    spare: Vec<NodeId>,
+    root: Option<NodeId>,
+    len: usize,
+}
+
+impl FreeTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        FreeTree::default()
+    }
+
+    /// Number of free regions indexed.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every region.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.spare.clear();
+        self.root = None;
+        self.len = 0;
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id as usize]
+    }
+
+    fn height(&self, n: Option<NodeId>) -> i32 {
+        n.map_or(0, |id| self.node(id).height)
+    }
+
+    fn update_height(&mut self, id: NodeId) {
+        let h = 1 + self
+            .height(self.node(id).left)
+            .max(self.height(self.node(id).right));
+        self.node_mut(id).height = h;
+    }
+
+    fn balance_factor(&self, id: NodeId) -> i32 {
+        self.height(self.node(id).left) - self.height(self.node(id).right)
+    }
+
+    fn rotate_right(&mut self, y: NodeId) -> NodeId {
+        let x = self.node(y).left.expect("rotate_right needs a left child");
+        let t2 = self.node(x).right;
+        self.node_mut(x).right = Some(y);
+        self.node_mut(y).left = t2;
+        self.update_height(y);
+        self.update_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: NodeId) -> NodeId {
+        let y = self.node(x).right.expect("rotate_left needs a right child");
+        let t2 = self.node(y).left;
+        self.node_mut(y).left = Some(x);
+        self.node_mut(x).right = t2;
+        self.update_height(x);
+        self.update_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, id: NodeId) -> NodeId {
+        self.update_height(id);
+        let bf = self.balance_factor(id);
+        if bf > 1 {
+            let l = self.node(id).left.unwrap();
+            if self.balance_factor(l) < 0 {
+                let nl = self.rotate_left(l);
+                self.node_mut(id).left = Some(nl);
+            }
+            self.rotate_right(id)
+        } else if bf < -1 {
+            let r = self.node(id).right.unwrap();
+            if self.balance_factor(r) > 0 {
+                let nr = self.rotate_right(r);
+                self.node_mut(id).right = Some(nr);
+            }
+            self.rotate_left(id)
+        } else {
+            id
+        }
+    }
+
+    fn alloc_node(&mut self, key: (usize, usize), desc: u32) -> NodeId {
+        let node = Node {
+            key,
+            desc,
+            left: None,
+            right: None,
+            height: 1,
+        };
+        if let Some(id) = self.spare.pop() {
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as NodeId
+        }
+    }
+
+    /// Inserts a free region of `len` bytes at `offset`, carrying the
+    /// descriptor id `desc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an identical `(len, offset)` key is already present —
+    /// free regions are disjoint, so duplicate keys indicate allocator
+    /// corruption.
+    pub fn insert(&mut self, len: usize, offset: usize, desc: u32) {
+        let root = self.root;
+        let new_root = self.insert_at(root, (len, offset), desc);
+        self.root = Some(new_root);
+        self.len += 1;
+    }
+
+    fn insert_at(&mut self, at: Option<NodeId>, key: (usize, usize), desc: u32) -> NodeId {
+        let Some(id) = at else {
+            return self.alloc_node(key, desc);
+        };
+        match key.cmp(&self.node(id).key) {
+            std::cmp::Ordering::Less => {
+                let l = self.node(id).left;
+                let nl = self.insert_at(l, key, desc);
+                self.node_mut(id).left = Some(nl);
+            }
+            std::cmp::Ordering::Greater => {
+                let r = self.node(id).right;
+                let nr = self.insert_at(r, key, desc);
+                self.node_mut(id).right = Some(nr);
+            }
+            std::cmp::Ordering::Equal => {
+                panic!("duplicate free-region key {key:?} — allocator corruption")
+            }
+        }
+        self.rebalance(id)
+    }
+
+    /// Removes the region with exactly this `(len, offset)` key; returns
+    /// its descriptor id, or `None` if absent.
+    pub fn remove(&mut self, len: usize, offset: usize) -> Option<u32> {
+        let mut removed = None;
+        let root = self.root;
+        self.root = self.remove_at(root, (len, offset), &mut removed);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(
+        &mut self,
+        at: Option<NodeId>,
+        key: (usize, usize),
+        removed: &mut Option<u32>,
+    ) -> Option<NodeId> {
+        let id = at?;
+        match key.cmp(&self.node(id).key) {
+            std::cmp::Ordering::Less => {
+                let l = self.node(id).left;
+                let nl = self.remove_at(l, key, removed);
+                self.node_mut(id).left = nl;
+            }
+            std::cmp::Ordering::Greater => {
+                let r = self.node(id).right;
+                let nr = self.remove_at(r, key, removed);
+                self.node_mut(id).right = nr;
+            }
+            std::cmp::Ordering::Equal => {
+                *removed = Some(self.node(id).desc);
+                let (l, r) = (self.node(id).left, self.node(id).right);
+                return match (l, r) {
+                    (None, None) => {
+                        self.spare.push(id);
+                        None
+                    }
+                    (Some(c), None) | (None, Some(c)) => {
+                        self.spare.push(id);
+                        Some(c)
+                    }
+                    (Some(_), Some(r)) => {
+                        // Replace with the in-order successor (min of right);
+                        // the recursive removal retires the successor's node
+                        // while this node is reused in place.
+                        let (succ_key, succ_desc) = self.min_of(r);
+                        let mut dummy = None;
+                        let nr = self.remove_at(Some(r), succ_key, &mut dummy);
+                        let node = self.node_mut(id);
+                        node.key = succ_key;
+                        node.desc = succ_desc;
+                        node.left = l;
+                        node.right = nr;
+                        Some(self.rebalance(id))
+                    }
+                };
+            }
+        }
+        Some(self.rebalance(id))
+    }
+
+    fn min_of(&self, mut id: NodeId) -> ((usize, usize), u32) {
+        while let Some(l) = self.node(id).left {
+            id = l;
+        }
+        (self.node(id).key, self.node(id).desc)
+    }
+
+    /// Best fit: the smallest region with `len >= want` (ties broken by
+    /// lowest offset). Returns `(len, offset, desc)`.
+    pub fn best_fit(&self, want: usize) -> Option<(usize, usize, u32)> {
+        let mut cur = self.root;
+        let mut best = None;
+        while let Some(id) = cur {
+            let n = self.node(id);
+            if n.key.0 >= want {
+                best = Some((n.key.0, n.key.1, n.desc));
+                cur = n.left;
+            } else {
+                cur = n.right;
+            }
+        }
+        best
+    }
+
+    /// In-order iteration of `(len, offset, desc)` (tests and invariants).
+    pub fn iter(&self) -> Vec<(usize, usize, u32)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.inorder(self.root, &mut out);
+        out
+    }
+
+    fn inorder(&self, at: Option<NodeId>, out: &mut Vec<(usize, usize, u32)>) {
+        if let Some(id) = at {
+            let n = *self.node(id);
+            self.inorder(n.left, out);
+            out.push((n.key.0, n.key.1, n.desc));
+            self.inorder(n.right, out);
+        }
+    }
+
+    /// Verifies AVL invariants (test helper): order, balance, height.
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self) {
+        type KeyRange = ((usize, usize), (usize, usize));
+        fn walk(t: &FreeTree, at: Option<NodeId>) -> (i32, Option<KeyRange>) {
+            let Some(id) = at else { return (0, None) };
+            let n = t.node(id);
+            let (hl, rl) = walk(t, n.left);
+            let (hr, rr) = walk(t, n.right);
+            assert!((hl - hr).abs() <= 1, "unbalanced at key {:?}", n.key);
+            assert_eq!(n.height, 1 + hl.max(hr), "stale height at {:?}", n.key);
+            let mut lo = n.key;
+            let mut hi = n.key;
+            if let Some((llo, lhi)) = rl {
+                assert!(lhi < n.key, "order violation left of {:?}", n.key);
+                lo = llo;
+            }
+            if let Some((rlo, rhi)) = rr {
+                assert!(rlo > n.key, "order violation right of {:?}", n.key);
+                hi = rhi;
+            }
+            (1 + hl.max(hr), Some((lo, hi)))
+        }
+        let (_, _) = walk(self, self.root);
+        assert_eq!(self.iter().len(), self.len, "len out of sync");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut t = FreeTree::new();
+        t.insert(100, 0, 1);
+        t.insert(50, 200, 2);
+        t.insert(300, 400, 3);
+        t.check_invariants();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.remove(50, 200), Some(2));
+        assert_eq!(t.remove(50, 200), None);
+        t.check_invariants();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn best_fit_picks_smallest_sufficient() {
+        let mut t = FreeTree::new();
+        t.insert(64, 0, 1);
+        t.insert(128, 100, 2);
+        t.insert(256, 300, 3);
+        assert_eq!(t.best_fit(65), Some((128, 100, 2)));
+        assert_eq!(t.best_fit(64), Some((64, 0, 1)));
+        assert_eq!(t.best_fit(200), Some((256, 300, 3)));
+        assert_eq!(t.best_fit(257), None);
+    }
+
+    #[test]
+    fn best_fit_ties_break_by_offset() {
+        let mut t = FreeTree::new();
+        t.insert(64, 500, 1);
+        t.insert(64, 100, 2);
+        t.insert(64, 300, 3);
+        assert_eq!(t.best_fit(10), Some((64, 100, 2)));
+    }
+
+    #[test]
+    fn stays_balanced_under_sequential_inserts() {
+        let mut t = FreeTree::new();
+        for i in 0..1000 {
+            t.insert(i + 1, i * 10, i as u32);
+        }
+        t.check_invariants();
+        // With 1000 nodes an AVL tree has height <= 1.44 log2(1000) ~ 14.
+        assert!(t.nodes[t.root.unwrap() as usize].height <= 15);
+    }
+
+    #[test]
+    fn removal_with_two_children() {
+        let mut t = FreeTree::new();
+        for (len, off) in [(50, 0), (30, 100), (70, 200), (20, 300), (40, 400), (60, 500), (80, 600)]
+        {
+            t.insert(len, off, len as u32);
+        }
+        assert_eq!(t.remove(50, 0), Some(50)); // root with two children
+        t.check_invariants();
+        assert_eq!(t.len(), 6);
+        let keys: Vec<usize> = t.iter().iter().map(|&(l, _, _)| l).collect();
+        assert_eq!(keys, vec![20, 30, 40, 60, 70, 80]);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut t = FreeTree::new();
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for step in 0..2000 {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let key = (rng.gen_range(1..10000), step * 7);
+                t.insert(key.0, key.1, 0);
+                live.push(key);
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let key = live.swap_remove(i);
+                assert!(t.remove(key.0, key.1).is_some());
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), live.len());
+        live.sort();
+        let got: Vec<(usize, usize)> = t.iter().iter().map(|&(l, o, _)| (l, o)).collect();
+        assert_eq!(got, live);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = FreeTree::new();
+        t.insert(10, 0, 0);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.best_fit(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_key_panics() {
+        let mut t = FreeTree::new();
+        t.insert(10, 0, 0);
+        t.insert(10, 0, 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Get-trace capture and offline replay.
+//!
+//! Tuning `|I_w|`, `|S_w|`, the victim scheme or the adaptive thresholds
+//! against a full application run is slow; a *trace* of the application's
+//! `get_c` stream replayed directly through the cache engine explores the
+//! same policy space in milliseconds. This module provides:
+//!
+//! - [`Trace`]: an in-memory get/epoch/invalidate event stream with a
+//!   compact little-endian binary serialization (no external format
+//!   dependencies);
+//! - [`replay`]: drives a [`RmaCache`] through the trace and returns the
+//!   statistics plus a modelled completion time, so policies can be ranked
+//!   exactly like the figure binaries rank live runs.
+//!
+//! The replayer feeds the cache synthetic payloads — policy decisions
+//! depend only on keys and sizes, never on payload bytes.
+
+use crate::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
+use crate::index::GetKey;
+use crate::stats::CacheStats;
+
+/// One traced event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A contiguous `get_c` of `size` bytes.
+    Get {
+        /// Target rank.
+        target: u32,
+        /// Byte displacement in the target window.
+        disp: u64,
+        /// Payload size in bytes.
+        size: u32,
+    },
+    /// An epoch closure (flush/unlock in the traced run).
+    EpochClose,
+    /// An explicit `CLAMPI_Invalidate`.
+    Invalidate,
+}
+
+/// A recorded event stream.
+///
+/// # Examples
+///
+/// ```
+/// use clampi::trace::{replay, ReplayCosts, Trace};
+/// use clampi::CacheParams;
+///
+/// let mut trace = Trace::new();
+/// for _ in 0..3 {
+///     trace.get(1, 0, 256); // the same get, three times
+///     trace.epoch_close();
+/// }
+/// let result = replay(&trace, CacheParams::default(), ReplayCosts::default());
+/// assert_eq!(result.stats.hits, 2); // first is a miss, rest hit
+///
+/// // Round-trips through the compact binary format.
+/// assert_eq!(Trace::from_bytes(&trace.to_bytes()).unwrap(), trace);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+const MAGIC: &[u8; 8] = b"CLAMPITR";
+const TAG_GET: u8 = 1;
+const TAG_EPOCH: u8 = 2;
+const TAG_INVALIDATE: u8 = 3;
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Records a contiguous get.
+    pub fn get(&mut self, target: u32, disp: u64, size: u32) {
+        self.events.push(TraceEvent::Get { target, disp, size });
+    }
+
+    /// Records an epoch closure.
+    pub fn epoch_close(&mut self) {
+        self.events.push(TraceEvent::EpochClose);
+    }
+
+    /// Records an explicit invalidation.
+    pub fn invalidate(&mut self) {
+        self.events.push(TraceEvent::Invalidate);
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of `Get` events.
+    pub fn num_gets(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Get { .. }))
+            .count()
+    }
+
+    /// Serializes to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.events.len() * 17);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
+        for e in &self.events {
+            match *e {
+                TraceEvent::Get { target, disp, size } => {
+                    out.push(TAG_GET);
+                    out.extend_from_slice(&target.to_le_bytes());
+                    out.extend_from_slice(&disp.to_le_bytes());
+                    out.extend_from_slice(&size.to_le_bytes());
+                }
+                TraceEvent::EpochClose => out.push(TAG_EPOCH),
+                TraceEvent::Invalidate => out.push(TAG_INVALIDATE),
+            }
+        }
+        out
+    }
+
+    /// Parses the binary format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed byte sequence.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
+        if data.len() < 16 || &data[..8] != MAGIC {
+            return Err("not a CLaMPI trace (bad magic)".into());
+        }
+        let count = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+        let mut events = Vec::with_capacity(count);
+        let mut at = 16;
+        for i in 0..count {
+            let tag = *data
+                .get(at)
+                .ok_or_else(|| format!("truncated at event {i}"))?;
+            at += 1;
+            match tag {
+                TAG_GET => {
+                    if data.len() < at + 16 {
+                        return Err(format!("truncated get at event {i}"));
+                    }
+                    let target = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
+                    let disp = u64::from_le_bytes(data[at + 4..at + 12].try_into().unwrap());
+                    let size = u32::from_le_bytes(data[at + 12..at + 16].try_into().unwrap());
+                    at += 16;
+                    events.push(TraceEvent::Get { target, disp, size });
+                }
+                TAG_EPOCH => events.push(TraceEvent::EpochClose),
+                TAG_INVALIDATE => events.push(TraceEvent::Invalidate),
+                t => return Err(format!("unknown tag {t} at event {i}")),
+            }
+        }
+        if at != data.len() {
+            return Err(format!("{} trailing bytes", data.len() - at));
+        }
+        Ok(Trace { events })
+    }
+
+    /// Writes the trace to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; malformed contents become
+    /// `io::ErrorKind::InvalidData`.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Cost model of the replayer: what a miss and a hit cost besides the
+/// cache-management time the engine itself charges.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayCosts {
+    /// Latency of a remote get + flush (paid by every non-hit).
+    pub miss_base_ns: f64,
+    /// Per-byte wire cost of a remote get.
+    pub miss_per_byte_ns: f64,
+}
+
+impl Default for ReplayCosts {
+    fn default() -> Self {
+        // The default network model's same-chassis get + sync.
+        ReplayCosts {
+            miss_base_ns: 120.0 + 1800.0 + 250.0,
+            miss_per_byte_ns: 0.10,
+        }
+    }
+}
+
+/// The outcome of a replay.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// Cache statistics over the whole trace.
+    pub stats: CacheStats,
+    /// Modelled completion time (management + copies + miss latencies).
+    pub completion_ns: f64,
+}
+
+/// Replays `trace` through a fresh cache with `params`.
+pub fn replay(trace: &Trace, params: CacheParams, costs: ReplayCosts) -> ReplayResult {
+    let mut cache = RmaCache::new(params);
+    let mut completion_ns = 0.0;
+    let mut payload: Vec<u8> = Vec::new();
+    let mut dst: Vec<u8> = Vec::new();
+    for e in trace.events() {
+        match *e {
+            TraceEvent::Get { target, disp, size } => {
+                let size = size as usize;
+                if size == 0 {
+                    continue;
+                }
+                let key = GetKey {
+                    target,
+                    disp,
+                };
+                let sig = LayoutSig::Contig(size);
+                dst.resize(size, 0);
+                match cache.process_lookup(key, &sig, &mut dst) {
+                    Lookup::Hit => {}
+                    Lookup::PartialHit { cached_len } => {
+                        payload.resize(size, 0);
+                        completion_ns += costs.miss_base_ns
+                            + (size - cached_len) as f64 * costs.miss_per_byte_ns;
+                        cache.finish_partial(key, sig, &payload);
+                    }
+                    Lookup::Miss => {
+                        payload.resize(size, 0);
+                        completion_ns +=
+                            costs.miss_base_ns + size as f64 * costs.miss_per_byte_ns;
+                        cache.finish_miss(key, sig, &payload);
+                    }
+                }
+            }
+            TraceEvent::EpochClose => cache.epoch_close(),
+            TraceEvent::Invalidate => cache.invalidate(),
+        }
+        completion_ns += cache.take_cost();
+    }
+    cache.epoch_close();
+    completion_ns += cache.take_cost();
+    ReplayResult {
+        stats: *cache.stats(),
+        completion_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::CacheCostModel;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for round in 0..5u64 {
+            for d in 0..20u64 {
+                t.get(1, d * 256, 128);
+                t.epoch_close();
+            }
+            if round == 2 {
+                t.invalidate();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let t = sample_trace();
+        let b = t.to_bytes();
+        let back = Trace::from_bytes(&b).unwrap();
+        assert_eq!(t, back);
+        assert_eq!(back.num_gets(), 100);
+    }
+
+    #[test]
+    fn roundtrip_file() {
+        let t = sample_trace();
+        let path = std::env::temp_dir().join("clampi_trace_test.bin");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(Trace::from_bytes(b"garbage").is_err());
+        let mut ok = sample_trace().to_bytes();
+        ok.push(0xFF); // trailing byte
+        assert!(Trace::from_bytes(&ok).is_err());
+        let mut truncated = sample_trace().to_bytes();
+        truncated.truncate(20);
+        assert!(Trace::from_bytes(&truncated).is_err());
+        let mut bad_tag = sample_trace().to_bytes();
+        bad_tag[16] = 99;
+        assert!(Trace::from_bytes(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn replay_reproduces_reuse_and_invalidation() {
+        let t = sample_trace();
+        let r = replay(
+            &t,
+            CacheParams {
+                index_entries: 64,
+                storage_bytes: 64 << 10,
+                costs: CacheCostModel::free(),
+                ..CacheParams::default()
+            },
+            ReplayCosts::default(),
+        );
+        // Round 1 misses (20), rounds 2-3 hit, invalidate, round 4 misses
+        // again, round 5 hits.
+        assert_eq!(r.stats.total_gets, 100);
+        assert_eq!(r.stats.direct, 40);
+        assert_eq!(r.stats.hits, 60);
+        assert_eq!(r.stats.invalidations, 1);
+        assert!(r.completion_ns > 0.0);
+    }
+
+    #[test]
+    fn replay_ranks_policies_like_live_runs() {
+        // A tiny index must replay slower (conflict evictions) than an
+        // adequate one — the property that makes offline tuning useful.
+        let mut t = Trace::new();
+        for _ in 0..10 {
+            for d in 0..100u64 {
+                t.get(0, d * 1000, 64);
+                t.epoch_close();
+            }
+        }
+        let small = replay(
+            &t,
+            CacheParams {
+                index_entries: 8,
+                storage_bytes: 1 << 20,
+                ..CacheParams::default()
+            },
+            ReplayCosts::default(),
+        );
+        let big = replay(
+            &t,
+            CacheParams {
+                index_entries: 512,
+                storage_bytes: 1 << 20,
+                ..CacheParams::default()
+            },
+            ReplayCosts::default(),
+        );
+        assert!(big.stats.hit_ratio() > small.stats.hit_ratio());
+        assert!(big.completion_ns < small.completion_ns);
+    }
+}

@@ -1,0 +1,417 @@
+//! Caching-enabled windows: the user-facing CLaMPI API (Sec. III-A).
+//!
+//! [`CachedWindow`] wraps an RMA [`Window`] and transparently routes `get`s
+//! through the caching engine. The operational mode — the paper's
+//! MPI_INFO-key choices — controls invalidation:
+//!
+//! - [`Mode::Transparent`]: no code changes, cache invalidated at every
+//!   epoch closure (safe for arbitrary access patterns);
+//! - [`Mode::AlwaysCache`]: the window is read-only for its entire
+//!   lifespan (e.g. a static graph) — never invalidated automatically;
+//! - [`Mode::UserDefined`]: like always-cache, but the application marks
+//!   the end of a read-only phase with [`CachedWindow::invalidate`]
+//!   (the paper's `CLAMPI_Invalidate`);
+//! - [`Mode::Disabled`]: plain pass-through to the underlying RMA window
+//!   (the "foMPI" baseline in every benchmark).
+//!
+//! Puts and synchronization calls delegate to the inner window; every
+//! epoch-closing call (`flush`, `flush_all`, `unlock`, `unlock_all`,
+//! `fence`) additionally runs the cache's epoch hook and, when enabled,
+//! the adaptive controller.
+
+use clampi_datatype::{Block, Datatype, FlatLayout};
+use clampi_rma::{LockKind, Process, Window};
+
+use crate::adaptive::{AdaptiveController, AdaptiveParams};
+use crate::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
+use crate::index::GetKey;
+use crate::stats::CacheStats;
+
+/// Operational mode of a caching-enabled window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Cache disabled: every get goes to the network (baseline).
+    Disabled,
+    /// Cache everything, invalidate at each epoch closure.
+    #[default]
+    Transparent,
+    /// Window is read-only forever: never invalidate automatically.
+    AlwaysCache,
+    /// Read-only phases delimited by explicit
+    /// [`CachedWindow::invalidate`] calls.
+    UserDefined,
+}
+
+/// Creation-time configuration (the MPI_INFO object of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct ClampiConfig {
+    /// Operational mode.
+    pub mode: Mode,
+    /// Cache parameters (`|I_w|`, `|S_w|`, victim scheme, costs, seed).
+    pub params: CacheParams,
+    /// `Some` enables the *adaptive* strategy; `None` is the *fixed* one.
+    pub adaptive: Option<AdaptiveParams>,
+    /// Extension beyond the paper: drop cached entries that overlap this
+    /// rank's own puts, keeping an always-cache window coherent with local
+    /// writers without a full invalidation. Off by default (the paper
+    /// relies purely on epoch semantics).
+    pub invalidate_on_put: bool,
+}
+
+impl ClampiConfig {
+    /// A disabled (pass-through, "foMPI") configuration.
+    pub fn disabled() -> Self {
+        ClampiConfig {
+            mode: Mode::Disabled,
+            ..ClampiConfig::default()
+        }
+    }
+
+    /// A fixed-parameter configuration in the given mode.
+    pub fn fixed(mode: Mode, params: CacheParams) -> Self {
+        ClampiConfig {
+            mode,
+            params,
+            adaptive: None,
+            invalidate_on_put: false,
+        }
+    }
+
+    /// An adaptive configuration starting from the given parameters.
+    pub fn adaptive(mode: Mode, params: CacheParams) -> Self {
+        ClampiConfig {
+            mode,
+            params,
+            adaptive: Some(AdaptiveParams::default()),
+            invalidate_on_put: false,
+        }
+    }
+}
+
+/// A caching-enabled RMA window.
+#[derive(Debug)]
+pub struct CachedWindow {
+    win: Window,
+    cache: Option<RmaCache>,
+    controller: Option<AdaptiveController>,
+    mode: Mode,
+    invalidate_on_put: bool,
+}
+
+impl CachedWindow {
+    /// Collectively creates a window of `size` local bytes with the given
+    /// caching configuration (every rank must call).
+    pub fn create(p: &mut Process, size: usize, cfg: ClampiConfig) -> Self {
+        let win = p.win_allocate(size);
+        Self::wrap(win, cfg)
+    }
+
+    /// Wraps an existing window with a caching layer.
+    pub fn wrap(win: Window, cfg: ClampiConfig) -> Self {
+        let cache = (cfg.mode != Mode::Disabled).then(|| RmaCache::new(cfg.params.clone()));
+        let controller = match (&cache, cfg.adaptive) {
+            (Some(_), Some(ap)) => Some(AdaptiveController::new(ap)),
+            _ => None,
+        };
+        CachedWindow {
+            win,
+            cache,
+            controller,
+            mode: cfg.mode,
+            invalidate_on_put: cfg.invalidate_on_put,
+        }
+    }
+
+    /// The operational mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The wrapped RMA window (e.g. to issue uncached operations).
+    pub fn inner(&self) -> &Window {
+        &self.win
+    }
+
+    /// Mutable access to the wrapped RMA window. Operations issued here
+    /// bypass the cache entirely (the paper's dual-window idiom for
+    /// per-operation cache bypass).
+    pub fn inner_mut(&mut self) -> &mut Window {
+        &mut self.win
+    }
+
+    /// Cache statistics (zeroed if caching is disabled).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.as_ref().map(|c| *c.stats()).unwrap_or_default()
+    }
+
+    /// The caching engine, if enabled (figure binaries read occupancy,
+    /// `ags`, parameters from here).
+    pub fn cache(&self) -> Option<&RmaCache> {
+        self.cache.as_ref()
+    }
+
+    /// This rank's exposed region, mutable (initialization).
+    pub fn local_mut(&self) -> clampi_rma::MappedWriteGuard<'_> {
+        self.win.local_mut()
+    }
+
+    /// This rank's exposed region, read-only.
+    pub fn local_ref(&self) -> clampi_rma::MappedReadGuard<'_> {
+        self.win.local_ref()
+    }
+
+    /// The concluded-epoch counter of the underlying window.
+    pub fn epoch(&self) -> u64 {
+        self.win.epoch()
+    }
+
+    /// A cached get (`get_c`): serves from the cache on a hit, otherwise
+    /// fetches remotely and tries to install the data.
+    ///
+    /// Returns the access classification, or `None` when the request
+    /// bypassed the cache (disabled mode or zero-size gets). A
+    /// [`crate::AccessType::Hit`] means no remote operation was issued — the
+    /// caller may skip the flush it would otherwise need before consuming
+    /// `dst` (this is exactly where the paper's hit-latency win comes
+    /// from).
+    pub fn get(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> Option<crate::AccessType> {
+        let layout = dtype.flatten_n(count);
+        self.get_flat(p, dst, target, disp, &layout)
+    }
+
+    /// [`CachedWindow::get`] with a pre-flattened layout.
+    pub fn get_flat(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        layout: &FlatLayout,
+    ) -> Option<crate::AccessType> {
+        let Some(cache) = self.cache.as_mut() else {
+            self.win.get_flat(p, dst, target, disp, layout);
+            return None;
+        };
+        let size = layout.total_size();
+        if size == 0 {
+            self.win.get_flat(p, dst, target, disp, layout);
+            return None;
+        }
+        let key = GetKey {
+            target: target as u32,
+            disp: disp as u64,
+        };
+        let sig = LayoutSig::from_layout(layout);
+        let class = match cache.process_lookup(key, &sig, dst) {
+            Lookup::Hit => crate::AccessType::Hit,
+            Lookup::PartialHit { cached_len } => {
+                if cached_len > 0 {
+                    // Contiguous partial hit: fetch only the missing tail.
+                    let tail = FlatLayout::new(vec![Block {
+                        offset: 0,
+                        len: size - cached_len,
+                    }]);
+                    self.win
+                        .get_flat(p, &mut dst[cached_len..], target, disp + cached_len, &tail);
+                } else {
+                    self.win.get_flat(p, dst, target, disp, layout);
+                }
+                cache.finish_partial(key, sig, dst)
+            }
+            Lookup::Miss => {
+                self.win.get_flat(p, dst, target, disp, layout);
+                cache.finish_miss(key, sig, dst)
+            }
+        };
+        let cost = cache.take_cost();
+        p.clock_mut().charge_cpu(cost);
+        Some(class)
+    }
+
+    /// [`CachedWindow::get`] with a *typed origin*: the payload — served
+    /// from cache or fetched — is scattered into `dst` according to
+    /// `origin_dtype` (MPI_Get with distinct origin/target datatypes).
+    /// Caching still keys on the target-side `(target, disp)` and layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin and target payload sizes differ.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_typed(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        origin_dtype: &Datatype,
+        origin_count: usize,
+        target: usize,
+        disp: usize,
+        target_dtype: &Datatype,
+        target_count: usize,
+    ) -> Option<crate::AccessType> {
+        let origin = origin_dtype.flatten_n(origin_count);
+        let tlayout = target_dtype.flatten_n(target_count);
+        assert_eq!(
+            origin.total_size(),
+            tlayout.total_size(),
+            "origin and target payload sizes differ"
+        );
+        let mut packed = vec![0u8; tlayout.total_size()];
+        let class = self.get_flat(p, &mut packed, target, disp, &tlayout);
+        clampi_datatype::unpack(&packed, &origin, dst);
+        // The origin-side scatter is initiator CPU work.
+        if let Some(cache) = self.cache.as_ref() {
+            let cost = cache.params().costs.memcpy_cost(origin.total_size());
+            p.clock_mut().charge_cpu(cost);
+        }
+        class
+    }
+
+    /// An *uncached* get: always goes to the network, leaving the cache
+    /// untouched. This is the per-operation bypass the paper proposes as
+    /// an MPI-standard extension (Sec. III-A) — without it, users must
+    /// create two windows over the same memory and enable caching on only
+    /// one of them.
+    pub fn get_uncached(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) {
+        self.win.get(p, dst, target, disp, dtype, count);
+    }
+
+    /// An uncached put (writes invalidate nothing by themselves — MPI's
+    /// epoch rules forbid conflicting put/get in one epoch, and the mode
+    /// determines when cached data expires).
+    pub fn put(
+        &mut self,
+        p: &mut Process,
+        src: &[u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) {
+        if self.invalidate_on_put {
+            if let Some(cache) = self.cache.as_mut() {
+                let span = dtype.flatten_n(count).span();
+                cache.invalidate_range(target as u32, disp as u64, (disp + span) as u64);
+                let cost = cache.take_cost();
+                p.clock_mut().charge_cpu(cost);
+            }
+        }
+        self.win.put(p, src, target, disp, dtype, count);
+    }
+
+    fn on_epoch_close(&mut self, p: &mut Process) {
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        cache.epoch_close();
+        if self.mode == Mode::Transparent {
+            cache.invalidate();
+        }
+        if let Some(ctrl) = self.controller.as_mut() {
+            let params = cache.params();
+            let free_fraction = if params.storage_bytes == 0 {
+                0.0
+            } else {
+                cache.free_bytes() as f64 / params.storage_bytes as f64
+            };
+            if let Some(adj) = ctrl.maybe_adjust(
+                cache.stats(),
+                params.index_entries,
+                params.storage_bytes,
+                free_fraction,
+            ) {
+                cache.resize(adj.index_entries, adj.storage_bytes);
+            }
+        }
+        let cost = cache.take_cost();
+        p.clock_mut().charge_cpu(cost);
+    }
+
+    /// Explicit cache invalidation (`CLAMPI_Invalidate`), for the
+    /// user-defined mode.
+    pub fn invalidate(&mut self, p: &mut Process) {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.invalidate();
+            let cost = cache.take_cost();
+            p.clock_mut().charge_cpu(cost);
+        }
+    }
+
+    /// MPI_Win_flush + cache epoch hook.
+    pub fn flush(&mut self, p: &mut Process, target: usize) {
+        self.win.flush(p, target);
+        self.on_epoch_close(p);
+    }
+
+    /// MPI_Win_flush_all + cache epoch hook.
+    pub fn flush_all(&mut self, p: &mut Process) {
+        self.win.flush_all(p);
+        self.on_epoch_close(p);
+    }
+
+    /// MPI_Win_lock.
+    pub fn lock(&mut self, p: &mut Process, kind: LockKind, target: usize) {
+        self.win.lock(p, kind, target);
+    }
+
+    /// MPI_Win_unlock + cache epoch hook.
+    pub fn unlock(&mut self, p: &mut Process, target: usize) {
+        self.win.unlock(p, target);
+        self.on_epoch_close(p);
+    }
+
+    /// MPI_Win_lock_all.
+    pub fn lock_all(&mut self, p: &mut Process) {
+        self.win.lock_all(p);
+    }
+
+    /// MPI_Win_unlock_all + cache epoch hook.
+    pub fn unlock_all(&mut self, p: &mut Process) {
+        self.win.unlock_all(p);
+        self.on_epoch_close(p);
+    }
+
+    /// MPI_Win_fence + cache epoch hook.
+    pub fn fence(&mut self, p: &mut Process) {
+        self.win.fence(p);
+        self.on_epoch_close(p);
+    }
+
+    /// MPI_Win_post (PSCW exposure).
+    pub fn post(&mut self, p: &mut Process, accessors: &[usize]) {
+        self.win.post(p, accessors);
+    }
+
+    /// MPI_Win_start (PSCW access epoch).
+    pub fn start(&mut self, p: &mut Process, targets: &[usize]) {
+        self.win.start(p, targets);
+    }
+
+    /// MPI_Win_complete + cache epoch hook (the PSCW epoch closure the
+    /// paper's epoch model keys on).
+    pub fn complete(&mut self, p: &mut Process) {
+        self.win.complete(p);
+        self.on_epoch_close(p);
+    }
+
+    /// MPI_Win_wait + cache epoch hook.
+    pub fn wait(&mut self, p: &mut Process, accessors: &[usize]) {
+        self.win.wait(p, accessors);
+        self.on_epoch_close(p);
+    }
+}

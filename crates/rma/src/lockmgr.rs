@@ -1,0 +1,193 @@
+//! Passive-target lock manager (MPI_Win_lock semantics).
+//!
+//! MPI-3 passive target synchronization lets an initiator lock a target's
+//! window region in `SHARED` or `EXCLUSIVE` mode. Shared locks coexist;
+//! an exclusive lock excludes everyone else. This manager implements those
+//! semantics per target rank with a mutex/condvar pair.
+//!
+//! Note this is *synchronization-correctness* state only — it does not model
+//! time (lock acquisition cost is charged by the caller through the cost
+//! model) and it is independent from the `RwLock` that protects the raw
+//! window bytes during individual transfers.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Lock mode for [`LockManager::lock`], mirroring `MPI_LOCK_SHARED` /
+/// `MPI_LOCK_EXCLUSIVE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Multiple initiators may hold the lock concurrently.
+    Shared,
+    /// Only one initiator may hold the lock; excludes shared holders too.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct TargetLockState {
+    shared_holders: usize,
+    exclusive_held: bool,
+}
+
+/// Per-target passive locks for one window.
+#[derive(Debug)]
+pub struct LockManager {
+    targets: Vec<(Mutex<TargetLockState>, Condvar)>,
+}
+
+impl LockManager {
+    /// A manager for a window spanning `nranks` target regions.
+    pub fn new(nranks: usize) -> Self {
+        LockManager {
+            targets: (0..nranks)
+                .map(|_| (Mutex::new(TargetLockState::default()), Condvar::new()))
+                .collect(),
+        }
+    }
+
+    /// Acquires the lock on `target`, blocking until compatible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn lock(&self, kind: LockKind, target: usize) {
+        let (m, cv) = &self.targets[target];
+        let mut st = m.lock();
+        match kind {
+            LockKind::Shared => {
+                while st.exclusive_held {
+                    cv.wait(&mut st);
+                }
+                st.shared_holders += 1;
+            }
+            LockKind::Exclusive => {
+                while st.exclusive_held || st.shared_holders > 0 {
+                    cv.wait(&mut st);
+                }
+                st.exclusive_held = true;
+            }
+        }
+    }
+
+    /// Releases a previously acquired lock on `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no lock is held on `target` (an unlock without a matching
+    /// lock is an MPI usage error).
+    pub fn unlock(&self, target: usize) {
+        let (m, cv) = &self.targets[target];
+        let mut st = m.lock();
+        if st.exclusive_held {
+            st.exclusive_held = false;
+        } else if st.shared_holders > 0 {
+            st.shared_holders -= 1;
+        } else {
+            panic!("unlock({target}) without a matching lock");
+        }
+        cv.notify_all();
+    }
+
+    /// Acquires a shared lock on every target (MPI_Win_lock_all).
+    pub fn lock_all(&self) {
+        for t in 0..self.targets.len() {
+            self.lock(LockKind::Shared, t);
+        }
+    }
+
+    /// Releases the shared lock on every target (MPI_Win_unlock_all).
+    pub fn unlock_all(&self) {
+        for t in 0..self.targets.len() {
+            self.unlock(t);
+        }
+    }
+
+    /// Number of target regions managed.
+    pub fn ntargets(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new(2);
+        lm.lock(LockKind::Shared, 0);
+        lm.lock(LockKind::Shared, 0);
+        lm.unlock(0);
+        lm.unlock(0);
+    }
+
+    #[test]
+    fn lock_all_then_unlock_all() {
+        let lm = LockManager::new(4);
+        lm.lock_all();
+        lm.unlock_all();
+        assert_eq!(lm.ntargets(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a matching lock")]
+    fn unbalanced_unlock_panics() {
+        let lm = LockManager::new(1);
+        lm.unlock(0);
+    }
+
+    #[test]
+    fn exclusive_excludes_shared() {
+        let lm = Arc::new(LockManager::new(1));
+        let entered = Arc::new(AtomicUsize::new(0));
+        lm.lock(LockKind::Exclusive, 0);
+
+        let lm2 = Arc::clone(&lm);
+        let entered2 = Arc::clone(&entered);
+        let h = std::thread::spawn(move || {
+            lm2.lock(LockKind::Shared, 0);
+            entered2.store(1, Ordering::SeqCst);
+            lm2.unlock(0);
+        });
+
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(
+            entered.load(Ordering::SeqCst),
+            0,
+            "shared lock must wait for exclusive holder"
+        );
+        lm.unlock(0);
+        h.join().unwrap();
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn exclusive_waits_for_shared() {
+        let lm = Arc::new(LockManager::new(1));
+        lm.lock(LockKind::Shared, 0);
+        let lm2 = Arc::clone(&lm);
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = Arc::clone(&done);
+        let h = std::thread::spawn(move || {
+            lm2.lock(LockKind::Exclusive, 0);
+            done2.store(1, Ordering::SeqCst);
+            lm2.unlock(0);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(done.load(Ordering::SeqCst), 0);
+        lm.unlock(0);
+        h.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn locks_on_different_targets_are_independent() {
+        let lm = LockManager::new(2);
+        lm.lock(LockKind::Exclusive, 0);
+        // Locking target 1 must not block even though 0 is held exclusively.
+        lm.lock(LockKind::Exclusive, 1);
+        lm.unlock(0);
+        lm.unlock(1);
+    }
+}

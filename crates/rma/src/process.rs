@@ -1,0 +1,539 @@
+//! The per-rank process handle and the SPMD launcher.
+//!
+//! [`run`] spawns one OS thread per simulated MPI rank and hands each a
+//! [`Process`]: the rank's identity, virtual [`Clock`], cost model, and
+//! access to collectives and window creation. Ranks execute the same
+//! closure (SPMD), diverging on `p.rank()` exactly like an MPI program.
+
+use std::sync::Arc;
+
+use crate::clock::Clock;
+use crate::collectives::{Exchange, ReduceBarrier};
+use crate::netmodel::NetModel;
+use crate::window::{WinShared, Window};
+
+/// Simulation-wide configuration.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// The network/memory cost model (includes the rank placement).
+    pub netmodel: NetModel,
+    /// Panic on conflicting put/get accesses within one epoch (the MPI-3
+    /// rule the paper's Sec. II relies on). On by default; benchmarks turn
+    /// it off to avoid the bookkeeping cost.
+    pub check_conflicts: bool,
+}
+
+impl SimConfig {
+    /// The default configuration with conflict checking enabled.
+    pub fn checked() -> Self {
+        SimConfig {
+            netmodel: NetModel::default(),
+            check_conflicts: true,
+        }
+    }
+
+    /// Configuration for benchmarks: no conflict bookkeeping.
+    pub fn bench() -> Self {
+        SimConfig {
+            netmodel: NetModel::default(),
+            check_conflicts: false,
+        }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_netmodel(mut self, m: NetModel) -> Self {
+        self.netmodel = m;
+        self
+    }
+}
+
+/// Per-rank operation counters, reported at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Number of `get` operations issued.
+    pub gets: u64,
+    /// Number of `put` operations issued.
+    pub puts: u64,
+    /// Payload bytes fetched by gets.
+    pub bytes_get: u64,
+    /// Payload bytes written by puts.
+    pub bytes_put: u64,
+    /// Number of flush/flush_all calls.
+    pub flushes: u64,
+}
+
+struct CommShared {
+    barrier: ReduceBarrier,
+    exchange: Exchange,
+    config: SimConfig,
+}
+
+/// The per-rank handle: identity, virtual clock, cost model, collectives.
+pub struct Process {
+    rank: usize,
+    nranks: usize,
+    clock: Clock,
+    shared: Arc<CommShared>,
+    coll_seq: u64,
+    pub(crate) counters: OpCounters,
+}
+
+impl Process {
+    /// This rank's id in `0..nranks`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Communicator size.
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.shared.config
+    }
+
+    /// The cost model.
+    pub fn netmodel(&self) -> &NetModel {
+        &self.shared.config.netmodel
+    }
+
+    /// Read access to the virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Mutable access to the virtual clock (used by layered libraries such
+    /// as the cache to charge their own CPU costs).
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charges `ns` nanoseconds of application computation.
+    pub fn compute(&mut self, ns: f64) {
+        self.clock.charge_cpu(ns);
+    }
+
+    /// Operation counters accumulated so far.
+    pub fn counters(&self) -> OpCounters {
+        self.counters
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    /// Collective barrier: synchronizes both the threads and the virtual
+    /// clocks (every rank leaves at the same virtual time, plus the modeled
+    /// barrier cost).
+    pub fn barrier(&mut self) {
+        let joint = self.shared.barrier.wait_max(self.clock.now());
+        let cost = self.netmodel().barrier_cost(self.nranks);
+        self.clock.advance_to(joint + cost);
+    }
+
+    /// Allgather of one value per rank, ordered by rank. Synchronizes
+    /// virtual clocks like a barrier.
+    pub fn allgather<T: std::any::Any + Send + Clone>(&mut self, value: T) -> Vec<T> {
+        let seq = self.next_seq();
+        let out = self.shared.exchange.allgather(seq, self.rank, value);
+        let joint = self.shared.barrier.wait_max(self.clock.now());
+        let cost = self.netmodel().barrier_cost(self.nranks);
+        self.clock.advance_to(joint + cost);
+        out
+    }
+
+    /// Broadcast from `root`. Exactly the root passes `Some(value)`.
+    /// Synchronizes virtual clocks like a barrier.
+    pub fn bcast<T: std::any::Any + Send + Clone>(&mut self, root: usize, value: Option<T>) -> T {
+        let seq = self.next_seq();
+        let out = self.shared.exchange.bcast(seq, self.rank, root, value);
+        let joint = self.shared.barrier.wait_max(self.clock.now());
+        let cost = self.netmodel().barrier_cost(self.nranks);
+        self.clock.advance_to(joint + cost);
+        out
+    }
+
+    /// Allreduce: the sum of every rank's `f64` contribution.
+    pub fn allreduce_sum(&mut self, value: f64) -> f64 {
+        self.allgather(value).into_iter().sum()
+    }
+
+    /// Allreduce: the maximum of every rank's `f64` contribution.
+    pub fn allreduce_max(&mut self, value: f64) -> f64 {
+        self.allgather(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Collectively creates a window exposing `size` bytes on this rank
+    /// (MPI_Win_allocate). Every rank must call with its own size.
+    pub fn win_allocate(&mut self, size: usize) -> Window {
+        let sizes = self.allgather(size);
+        let shared: Arc<WinShared> = if self.rank == 0 {
+            let ws = Arc::new(WinShared::new(sizes));
+            self.bcast(0, Some(ws))
+        } else {
+            self.bcast::<Arc<WinShared>>(0, None)
+        };
+        Window::new(shared, self.rank)
+    }
+
+    /// Builds the end-of-run report for this rank.
+    fn report(&self) -> RankReport {
+        RankReport {
+            rank: self.rank,
+            elapsed_ns: self.clock.now(),
+            cpu_ns: self.clock.total_cpu(),
+            wire_ns: self.clock.total_wire(),
+            blocked_ns: self.clock.total_blocked(),
+            counters: self.counters,
+        }
+    }
+}
+
+/// End-of-run summary for one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankReport {
+    /// The rank.
+    pub rank: usize,
+    /// Final virtual time (nanoseconds).
+    pub elapsed_ns: f64,
+    /// Total CPU time charged.
+    pub cpu_ns: f64,
+    /// Total wire time posted (overlappable).
+    pub wire_ns: f64,
+    /// Total time spent blocked in waits and barriers.
+    pub blocked_ns: f64,
+    /// Operation counters.
+    pub counters: OpCounters,
+}
+
+/// Runs `f` as an SPMD program over `nranks` simulated ranks (one OS thread
+/// each) and returns each rank's [`RankReport`] ordered by rank.
+///
+/// The closure may return a value; retrieve per-rank results with
+/// [`run_collect`] instead if you need them.
+pub fn run<F>(config: SimConfig, nranks: usize, f: F) -> Vec<RankReport>
+where
+    F: Fn(&mut Process) + Sync,
+{
+    run_collect(config, nranks, |p| f(p))
+        .into_iter()
+        .map(|(r, ())| r)
+        .collect()
+}
+
+/// Like [`run`] but collects the closure's per-rank return values.
+///
+/// # Panics
+///
+/// Panics if `nranks == 0` or if any rank panics (the panic is propagated).
+pub fn run_collect<T, F>(config: SimConfig, nranks: usize, f: F) -> Vec<(RankReport, T)>
+where
+    F: Fn(&mut Process) -> T + Sync,
+    T: Send,
+{
+    assert!(nranks > 0, "need at least one rank");
+    let shared = Arc::new(CommShared {
+        barrier: ReduceBarrier::new(nranks),
+        exchange: Exchange::new(nranks),
+        config,
+    });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nranks)
+            .map(|rank| {
+                let shared = Arc::clone(&shared);
+                let f = &f;
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    // Apps recurse over octrees; give ranks deep stacks.
+                    .stack_size(16 << 20)
+                    .spawn_scoped(scope, move || {
+                        let mut p = Process {
+                            rank,
+                            nranks,
+                            clock: Clock::new(),
+                            shared,
+                            coll_seq: 0,
+                            counters: OpCounters::default(),
+                        };
+                        let out = f(&mut p);
+                        (p.report(), out)
+                    })
+                    .expect("failed to spawn rank thread")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clampi_datatype::Datatype;
+    use crate::window::LockKind;
+
+    #[test]
+    fn single_rank_runs() {
+        let reports = run(SimConfig::default(), 1, |p| {
+            p.compute(1000.0);
+        });
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].elapsed_ns, 1000.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let reports = run(SimConfig::default(), 4, |p| {
+            p.compute(p.rank() as f64 * 1000.0);
+            p.barrier();
+        });
+        // Everyone leaves at max(now) + barrier cost: identical elapsed.
+        let t0 = reports[0].elapsed_ns;
+        assert!(t0 >= 3000.0);
+        for r in &reports {
+            assert_eq!(r.elapsed_ns, t0, "rank {}", r.rank);
+        }
+    }
+
+    #[test]
+    fn allgather_roundtrips_rank_ids() {
+        run(SimConfig::default(), 3, |p| {
+            let all = p.allgather(p.rank() * 7);
+            assert_eq!(all, vec![0, 7, 14]);
+        });
+    }
+
+    #[test]
+    fn get_reads_remote_data_and_charges_time() {
+        let reports = run(SimConfig::default(), 2, |p| {
+            let mut win = p.win_allocate(256);
+            {
+                let mut mem = win.local_mut();
+                let base = (p.rank() as u8 + 1) * 10;
+                for (i, b) in mem.iter_mut().enumerate() {
+                    *b = base.wrapping_add(i as u8);
+                }
+            }
+            p.barrier();
+            win.lock_all(p);
+            let peer = 1 - p.rank();
+            let mut buf = [0u8; 4];
+            win.get(p, &mut buf, peer, 8, &Datatype::bytes(4), 1);
+            win.flush(p, peer);
+            let base = (peer as u8 + 1) * 10;
+            assert_eq!(buf, [base + 8, base + 9, base + 10, base + 11]);
+            assert_eq!(win.epoch(), 1);
+            win.unlock_all(p);
+            assert_eq!(win.epoch(), 2);
+            p.barrier();
+        });
+        for r in &reports {
+            assert_eq!(r.counters.gets, 1);
+            assert_eq!(r.counters.bytes_get, 4);
+            assert!(r.wire_ns > 0.0, "remote get must cost wire time");
+        }
+    }
+
+    #[test]
+    fn put_writes_remote_data() {
+        run(SimConfig::default(), 2, |p| {
+            let mut win = p.win_allocate(64);
+            p.barrier();
+            if p.rank() == 0 {
+                win.lock(p, LockKind::Shared, 1);
+                let data = [9u8, 8, 7];
+                win.put(p, &data, 1, 5, &Datatype::bytes(3), 1);
+                win.unlock(p, 1);
+            }
+            p.barrier();
+            if p.rank() == 1 {
+                let mem = win.local_ref();
+                assert_eq!(&mem[5..8], &[9, 8, 7]);
+            }
+            p.barrier();
+        });
+    }
+
+    #[test]
+    fn strided_get_packs_blocks() {
+        run(SimConfig::default(), 2, |p| {
+            let mut win = p.win_allocate(64);
+            if p.rank() == 1 {
+                let mut mem = win.local_mut();
+                for (i, b) in mem.iter_mut().enumerate() {
+                    *b = i as u8;
+                }
+            }
+            p.barrier();
+            if p.rank() == 0 {
+                win.lock_all(p);
+                // 3 blocks of 2 bytes, stride 4 bytes.
+                let dt = Datatype::vector(3, 2, 4, Datatype::bytes(1));
+                let mut buf = [0u8; 6];
+                win.get(p, &mut buf, 1, 10, &dt, 1);
+                win.flush(p, 1);
+                assert_eq!(buf, [10, 11, 14, 15, 18, 19]);
+                win.unlock_all(p);
+            }
+            p.barrier();
+        });
+    }
+
+    #[test]
+    fn flush_blocks_until_wire_completion() {
+        let reports = run(SimConfig::default(), 2, |p| {
+            let mut win = p.win_allocate(8192);
+            p.barrier();
+            if p.rank() == 0 {
+                win.lock_all(p);
+                let mut buf = vec![0u8; 4096];
+                win.get(p, &mut buf, 1, 0, &Datatype::bytes(4096), 1);
+                let before = p.now();
+                win.flush(p, 1);
+                let after = p.now();
+                // The 4 KiB wire time dominates the sync overhead.
+                assert!(after - before > 1000.0, "flush advanced {}", after - before);
+                win.unlock_all(p);
+            }
+            p.barrier();
+        });
+        assert!(reports[0].blocked_ns > 0.0);
+    }
+
+    #[test]
+    fn self_get_is_local() {
+        let reports = run(SimConfig::default(), 1, |p| {
+            let mut win = p.win_allocate(64);
+            win.lock_all(p);
+            let mut buf = [0u8; 16];
+            win.get(p, &mut buf, 0, 0, &Datatype::bytes(16), 1);
+            win.flush(p, 0);
+            win.unlock_all(p);
+        });
+        assert_eq!(reports[0].wire_ns, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_past_window_end_panics() {
+        run(SimConfig::default(), 1, |p| {
+            let mut win = p.win_allocate(16);
+            win.lock_all(p);
+            let mut buf = [0u8; 32];
+            win.get(p, &mut buf, 0, 0, &Datatype::bytes(32), 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting RMA access")]
+    fn put_get_conflict_detected() {
+        run(SimConfig::checked(), 1, |p| {
+            let mut win = p.win_allocate(64);
+            win.lock_all(p);
+            let mut buf = [0u8; 8];
+            win.get(p, &mut buf, 0, 0, &Datatype::bytes(8), 1);
+            let data = [0u8; 8];
+            win.put(p, &data, 0, 4, &Datatype::bytes(8), 1); // overlaps the get
+        });
+    }
+
+    #[test]
+    fn flush_resets_conflict_tracking() {
+        run(SimConfig::checked(), 1, |p| {
+            let mut win = p.win_allocate(64);
+            win.lock_all(p);
+            let mut buf = [0u8; 8];
+            win.get(p, &mut buf, 0, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 0);
+            // New epoch: the same range may now be written.
+            let data = [1u8; 8];
+            win.put(p, &data, 0, 0, &Datatype::bytes(8), 1);
+            win.unlock_all(p);
+        });
+    }
+
+    #[test]
+    fn concurrent_gets_from_many_ranks() {
+        let n = 8;
+        run(SimConfig::default(), n, |p| {
+            let mut win = p.win_allocate(1024);
+            {
+                let mut mem = win.local_mut();
+                mem[0] = p.rank() as u8;
+            }
+            p.barrier();
+            win.lock_all(p);
+            // Everyone reads everyone's first byte.
+            for t in 0..p.nranks() {
+                let mut b = [0u8; 1];
+                win.get(p, &mut b, t, 0, &Datatype::bytes(1), 1);
+                assert_eq!(b[0], t as u8);
+            }
+            win.flush_all(p);
+            win.unlock_all(p);
+            p.barrier();
+        });
+    }
+
+    #[test]
+    fn fence_closes_epoch_collectively() {
+        run(SimConfig::default(), 2, |p| {
+            let mut win = p.win_allocate(32);
+            win.fence(p);
+            assert_eq!(win.epoch(), 1);
+            win.fence(p);
+            assert_eq!(win.epoch(), 2);
+        });
+    }
+
+    #[test]
+    fn run_collect_returns_results_in_rank_order() {
+        let out = run_collect(SimConfig::default(), 4, |p| p.rank() * 2);
+        let vals: Vec<usize> = out.iter().map(|(_, v)| *v).collect();
+        assert_eq!(vals, vec![0, 2, 4, 6]);
+        for (i, (r, _)) in out.iter().enumerate() {
+            assert_eq!(r.rank, i);
+        }
+    }
+
+    #[test]
+    fn farther_targets_cost_more_time() {
+        // Rank 0 gets from rank 1 (same chassis) vs rank 96 (remote group).
+        let reports = run_collect(SimConfig::default(), 97, |p| {
+            let mut win = p.win_allocate(64);
+            p.barrier();
+            let mut near_far = (0.0, 0.0);
+            if p.rank() == 0 {
+                win.lock_all(p);
+                let mut b = [0u8; 8];
+                let t0 = p.now();
+                win.get(p, &mut b, 1, 0, &Datatype::bytes(8), 1);
+                win.flush(p, 1);
+                let t1 = p.now();
+                win.get(p, &mut b, 96, 0, &Datatype::bytes(8), 1);
+                win.flush(p, 96);
+                let t2 = p.now();
+                win.unlock_all(p);
+                near_far = (t1 - t0, t2 - t1);
+            }
+            p.barrier();
+            near_far
+        });
+        let (near, far) = reports[0].1;
+        assert!(far > near, "far {far} <= near {near}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Rank placement on a Dragonfly-like machine hierarchy.
+//!
+//! The paper's Fig. 1 shows get latency as a function of where the two
+//! processes land in the Cray Cascade hierarchy: same node, same chassis,
+//! same (electrical) group, or a remote group reached through optical links.
+//! [`Topology`] maps a rank id to a `(node, chassis, group)` coordinate and
+//! classifies pairs of ranks into a [`Distance`].
+
+/// How far apart two ranks are in the machine hierarchy. Ordering is by
+/// increasing latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Distance {
+    /// The initiator targets itself (pure local memory).
+    SelfRank,
+    /// Same compute node: transfers go through shared memory.
+    SameNode,
+    /// Different node, same chassis (backplane links).
+    SameChassis,
+    /// Different chassis, same Dragonfly group (electrical cables).
+    SameGroup,
+    /// Different group (optical links).
+    RemoteGroup,
+}
+
+impl Distance {
+    /// All distance classes, nearest first.
+    pub const ALL: [Distance; 5] = [
+        Distance::SelfRank,
+        Distance::SameNode,
+        Distance::SameChassis,
+        Distance::SameGroup,
+        Distance::RemoteGroup,
+    ];
+
+    /// Human-readable label used by the figure binaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distance::SelfRank => "self",
+            Distance::SameNode => "same-node",
+            Distance::SameChassis => "same-chassis",
+            Distance::SameGroup => "same-group",
+            Distance::RemoteGroup => "remote-group",
+        }
+    }
+}
+
+/// A Dragonfly-like placement: ranks fill nodes, nodes fill chassis, chassis
+/// fill groups, in rank order (block placement, the ALPS/SLURM default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// MPI ranks (processing elements) per compute node.
+    pub ranks_per_node: usize,
+    /// Compute nodes per chassis.
+    pub nodes_per_chassis: usize,
+    /// Chassis per Dragonfly group.
+    pub chassis_per_group: usize,
+}
+
+impl Default for Topology {
+    /// The paper's default mapping: one rank per node (Sec. IV), Cray XC
+    /// structure (16 nodes/chassis, 6 chassis/group).
+    fn default() -> Self {
+        Topology {
+            ranks_per_node: 1,
+            nodes_per_chassis: 16,
+            chassis_per_group: 6,
+        }
+    }
+}
+
+impl Topology {
+    /// A topology that packs `ranks_per_node` ranks on each node, keeping
+    /// the Cray XC chassis/group structure.
+    pub fn packed(ranks_per_node: usize) -> Self {
+        Topology {
+            ranks_per_node,
+            ..Topology::default()
+        }
+    }
+
+    /// The node index a rank lives on.
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node.max(1)
+    }
+
+    /// The chassis index a rank lives in.
+    pub fn chassis_of(&self, rank: usize) -> usize {
+        self.node_of(rank) / self.nodes_per_chassis.max(1)
+    }
+
+    /// The group index a rank lives in.
+    pub fn group_of(&self, rank: usize) -> usize {
+        self.chassis_of(rank) / self.chassis_per_group.max(1)
+    }
+
+    /// Classifies the distance between two ranks.
+    pub fn distance(&self, a: usize, b: usize) -> Distance {
+        if a == b {
+            Distance::SelfRank
+        } else if self.node_of(a) == self.node_of(b) {
+            Distance::SameNode
+        } else if self.chassis_of(a) == self.chassis_of(b) {
+            Distance::SameChassis
+        } else if self.group_of(a) == self.group_of(b) {
+            Distance::SameGroup
+        } else {
+            Distance::RemoteGroup
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_one_rank_per_node() {
+        let t = Topology::default();
+        assert_eq!(t.distance(0, 0), Distance::SelfRank);
+        assert_eq!(t.distance(0, 1), Distance::SameChassis);
+        assert_eq!(t.distance(0, 15), Distance::SameChassis);
+        assert_eq!(t.distance(0, 16), Distance::SameGroup);
+        assert_eq!(t.distance(0, 16 * 6), Distance::RemoteGroup);
+    }
+
+    #[test]
+    fn packed_ranks_share_nodes() {
+        let t = Topology::packed(8);
+        assert_eq!(t.distance(0, 7), Distance::SameNode);
+        assert_eq!(t.distance(0, 8), Distance::SameChassis);
+        assert_eq!(t.node_of(9), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let t = Topology::packed(4);
+        for a in [0usize, 3, 5, 70, 130, 500] {
+            for b in [0usize, 1, 6, 64, 200, 700] {
+                assert_eq!(t.distance(a, b), t.distance(b, a), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn distance_ordering_matches_hierarchy() {
+        assert!(Distance::SelfRank < Distance::SameNode);
+        assert!(Distance::SameNode < Distance::SameChassis);
+        assert!(Distance::SameChassis < Distance::SameGroup);
+        assert!(Distance::SameGroup < Distance::RemoteGroup);
+    }
+
+    #[test]
+    fn degenerate_topology_does_not_divide_by_zero() {
+        let t = Topology {
+            ranks_per_node: 0,
+            nodes_per_chassis: 0,
+            chassis_per_group: 0,
+        };
+        // max(1) clamping keeps the math defined: zeros behave like ones,
+        // i.e. one rank per node, one node per chassis, one chassis/group.
+        assert_eq!(t.distance(0, 1), Distance::RemoteGroup);
+        assert_eq!(t.distance(2, 2), Distance::SelfRank);
+    }
+}

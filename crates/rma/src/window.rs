@@ -1,0 +1,701 @@
+//! RMA windows: exposed memory regions plus passive-target synchronization.
+//!
+//! A [`Window`] is the per-rank handle to a collectively created memory
+//! exposure (`MPI_Win_allocate`). The shared state (`WinShared`) holds one
+//! byte region per rank behind a `parking_lot::RwLock` — `get`s take read
+//! locks, `put`s write locks, so the data path is entirely safe Rust. MPI's
+//! epoch discipline (no conflicting put/get in one epoch) keeps real
+//! contention negligible; an optional conflict checker enforces that
+//! discipline for the initiator's own operations.
+//!
+//! **Epoch counting.** The paper associates a counter `w.eph` with each
+//! window, counting *concluded epochs* since creation, and treats every
+//! completion event — `flush`, `flush_all`, `unlock`, `unlock_all`, `fence`
+//! — as an epoch closure (Listing 1 annotates `MPI_Win_flush` with
+//! "closes epoch"). [`Window::epoch`] implements exactly that counter; it is
+//! what the caching layer samples as `x.eph`.
+
+use std::sync::Arc;
+
+use clampi_datatype::{Datatype, FlatLayout};
+use parking_lot::RwLock;
+
+use crate::process::Process;
+
+pub use crate::lockmgr::LockKind;
+use crate::lockmgr::LockManager;
+
+/// Reduction operator for [`Window::accumulate`] (MPI_Accumulate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccumulateOp {
+    /// Overwrite (MPI_REPLACE) — equivalent to a put, byte-wise.
+    Replace,
+    /// Elementwise f64 addition (MPI_SUM).
+    Sum,
+    /// Elementwise f64 minimum (MPI_MIN).
+    Min,
+    /// Elementwise f64 maximum (MPI_MAX).
+    Max,
+}
+
+/// Collectively shared window state: one region per rank.
+#[derive(Debug)]
+pub(crate) struct WinShared {
+    pub(crate) regions: Vec<RwLock<Box<[u8]>>>,
+    pub(crate) locks: LockManager,
+    pub(crate) sizes: Vec<usize>,
+    pub(crate) pscw: PscwState,
+}
+
+impl WinShared {
+    pub(crate) fn new(sizes: Vec<usize>) -> Self {
+        WinShared {
+            regions: sizes
+                .iter()
+                .map(|&s| RwLock::new(vec![0u8; s].into_boxed_slice()))
+                .collect(),
+            locks: LockManager::new(sizes.len()),
+            sizes,
+            pscw: PscwState::default(),
+        }
+    }
+}
+
+/// Signal counters for post-start-complete-wait synchronization: how many
+/// unmatched `post`s rank A has issued towards accessor B, and how many
+/// unmatched `complete`s accessor B has issued towards target A.
+#[derive(Debug, Default)]
+pub(crate) struct PscwState {
+    posts: parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
+    completes: parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
+    cv: parking_lot::Condvar,
+}
+
+impl PscwState {
+    fn signal(
+        map: &parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
+        cv: &parking_lot::Condvar,
+        key: (usize, usize),
+    ) {
+        *map.lock().entry(key).or_default() += 1;
+        cv.notify_all();
+    }
+
+    fn consume(
+        map: &parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
+        cv: &parking_lot::Condvar,
+        key: (usize, usize),
+    ) {
+        let mut m = map.lock();
+        loop {
+            if let Some(c) = m.get_mut(&key) {
+                if *c > 0 {
+                    *c -= 1;
+                    return;
+                }
+            }
+            cv.wait(&mut m);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct AccessRec {
+    target: usize,
+    range: Range2,
+    is_put: bool,
+}
+
+/// A `Copy` half-open byte range (std's `Range` is not `Copy`).
+#[derive(Debug, Clone, Copy)]
+struct Range2 {
+    start: usize,
+    end: usize,
+}
+
+impl Range2 {
+    fn overlaps(&self, other: &Range2) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+}
+
+/// A handle to one request-based RMA operation (MPI_Request for
+/// MPI_Rget/MPI_Rput).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RmaRequest {
+    id: u64,
+}
+
+/// The per-rank handle to an RMA window.
+///
+/// Created collectively by [`Process::win_allocate`]; all data-movement and
+/// synchronization methods charge the simulation cost model through the
+/// passed-in [`Process`].
+#[derive(Debug)]
+pub struct Window {
+    shared: Arc<WinShared>,
+    my_rank: usize,
+    epoch: u64,
+    accesses: Vec<AccessRec>,
+    pscw_targets: Vec<usize>,
+}
+
+impl Window {
+    pub(crate) fn new(shared: Arc<WinShared>, my_rank: usize) -> Self {
+        Window {
+            shared,
+            my_rank,
+            epoch: 0,
+            accesses: Vec::new(),
+            pscw_targets: Vec::new(),
+        }
+    }
+
+    /// The number of concluded access epochs (the paper's `w.eph`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The rank that owns this handle.
+    pub fn my_rank(&self) -> usize {
+        self.my_rank
+    }
+
+    /// Number of target regions (= communicator size).
+    pub fn ntargets(&self) -> usize {
+        self.shared.sizes.len()
+    }
+
+    /// The exposed size of `target`'s region in bytes.
+    pub fn size_of(&self, target: usize) -> usize {
+        self.shared.sizes[target]
+    }
+
+    /// Mutable access to this rank's own exposed region (direct local
+    /// stores, outside any epoch — the usual way apps initialize windows).
+    pub fn local_mut(&self) -> parking_lot::MappedRwLockWriteGuard<'_, [u8]> {
+        parking_lot::RwLockWriteGuard::map(self.shared.regions[self.my_rank].write(), |b| {
+            &mut b[..]
+        })
+    }
+
+    /// Shared read access to this rank's own exposed region.
+    pub fn local_ref(&self) -> parking_lot::MappedRwLockReadGuard<'_, [u8]> {
+        parking_lot::RwLockReadGuard::map(self.shared.regions[self.my_rank].read(), |b| &b[..])
+    }
+
+    fn record_access(&mut self, p: &Process, target: usize, range: Range2, is_put: bool) {
+        if !p.config().check_conflicts {
+            return;
+        }
+        for a in &self.accesses {
+            if a.target != target || !a.range.overlaps(&range) {
+                continue;
+            }
+            // MPI-3 RMA forbids a put overlapping any access, and a get
+            // overlapping a put, within one epoch (Sec. II of the paper).
+            if is_put || a.is_put {
+                panic!(
+                    "conflicting RMA access in one epoch: {} [{},{}) vs {} [{},{}) at target {}",
+                    if a.is_put { "put" } else { "get" },
+                    a.range.start,
+                    a.range.end,
+                    if is_put { "put" } else { "get" },
+                    range.start,
+                    range.end,
+                    target
+                );
+            }
+        }
+        self.accesses.push(AccessRec {
+            target,
+            range,
+            is_put,
+        });
+    }
+
+    /// Reads `count` elements of `dtype` from `target`'s region at byte
+    /// displacement `disp` into the packed buffer `dst` (MPI_Get with a
+    /// contiguous origin type).
+    ///
+    /// The data is available in `dst` immediately (the simulator performs
+    /// the copy eagerly) but the operation only *completes* — in virtual
+    /// time — at the next flush/unlock, like a real nonblocking RMA get.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access exceeds the target region or `dst` has the
+    /// wrong length.
+    pub fn get(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) {
+        let layout = dtype.flatten_n(count);
+        self.get_flat(p, dst, target, disp, &layout);
+    }
+
+    /// [`Window::get`] with a pre-flattened layout (relative to `disp`).
+    pub fn get_flat(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        layout: &FlatLayout,
+    ) {
+        let span = layout.span();
+        assert!(
+            disp + span <= self.shared.sizes[target],
+            "get out of bounds: disp {disp} + span {span} > window size {} at target {target}",
+            self.shared.sizes[target]
+        );
+        self.record_access(
+            p,
+            target,
+            Range2 {
+                start: disp,
+                end: disp + span,
+            },
+            false,
+        );
+        {
+            let region = self.shared.regions[target].read();
+            clampi_datatype::pack(&region[disp..disp + span], layout, dst);
+        }
+        let cost =
+            p.netmodel()
+                .transfer_cost(self.my_rank, target, layout.total_size(), layout.blocks().len());
+        p.clock_mut().charge_cpu(cost.cpu_ns);
+        p.clock_mut().post_network(target, cost.wire_ns);
+        p.counters.gets += 1;
+        p.counters.bytes_get += layout.total_size() as u64;
+    }
+
+    /// [`Window::get`] with a *typed origin*: the fetched payload is
+    /// scattered into `dst` according to `origin_dtype` instead of being
+    /// delivered packed (MPI_Get with distinct origin/target datatypes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the origin and target payload sizes differ or the access
+    /// exceeds the target region.
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Get's signature
+    pub fn get_typed(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        origin_dtype: &Datatype,
+        origin_count: usize,
+        target: usize,
+        disp: usize,
+        target_dtype: &Datatype,
+        target_count: usize,
+    ) {
+        let origin = origin_dtype.flatten_n(origin_count);
+        let tlayout = target_dtype.flatten_n(target_count);
+        assert_eq!(
+            origin.total_size(),
+            tlayout.total_size(),
+            "origin and target payload sizes differ"
+        );
+        let mut packed = vec![0u8; tlayout.total_size()];
+        self.get_flat(p, &mut packed, target, disp, &tlayout);
+        clampi_datatype::unpack(&packed, &origin, dst);
+        // The origin-side scatter is initiator CPU work.
+        let scatter = p.netmodel().memcpy_cost(origin.total_size());
+        p.clock_mut().charge_cpu(scatter);
+    }
+
+    /// Request-based get (MPI_Rget): like [`Window::get`] but returns a
+    /// handle that can be completed individually with
+    /// [`Window::wait_request`] — finer-grained than a whole-target flush
+    /// and without closing the epoch.
+    pub fn rget(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> RmaRequest {
+        let before = p.clock().outstanding_count();
+        self.get(p, dst, target, disp, dtype, count);
+        debug_assert_eq!(p.clock().outstanding_count(), before + 1);
+        RmaRequest {
+            id: p.clock_mut().last_posted_id(),
+        }
+    }
+
+    /// Request-based put (MPI_Rput): like [`Window::put`] but returns a
+    /// handle completed individually with [`Window::wait_request`].
+    pub fn rput(
+        &mut self,
+        p: &mut Process,
+        src: &[u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> RmaRequest {
+        self.put(p, src, target, disp, dtype, count);
+        RmaRequest {
+            id: p.clock_mut().last_posted_id(),
+        }
+    }
+
+    /// Completes one request-based operation (MPI_Wait on the request).
+    /// Does **not** close the epoch.
+    pub fn wait_request(&mut self, p: &mut Process, req: RmaRequest) {
+        p.clock_mut().wait_one(req.id);
+    }
+
+    /// Writes `count` elements of `dtype` from the packed buffer `src` into
+    /// `target`'s region at byte displacement `disp` (MPI_Put).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access exceeds the target region or `src` has the
+    /// wrong length.
+    pub fn put(
+        &mut self,
+        p: &mut Process,
+        src: &[u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) {
+        let layout = dtype.flatten_n(count);
+        let span = layout.span();
+        assert!(
+            disp + span <= self.shared.sizes[target],
+            "put out of bounds: disp {disp} + span {span} > window size {} at target {target}",
+            self.shared.sizes[target]
+        );
+        self.record_access(
+            p,
+            target,
+            Range2 {
+                start: disp,
+                end: disp + span,
+            },
+            true,
+        );
+        {
+            let mut region = self.shared.regions[target].write();
+            clampi_datatype::unpack(src, &layout, &mut region[disp..disp + span]);
+        }
+        let cost = p.netmodel().transfer_cost(
+            self.my_rank,
+            target,
+            layout.total_size(),
+            layout.blocks().len(),
+        );
+        p.clock_mut().charge_cpu(cost.cpu_ns);
+        p.clock_mut().post_network(target, cost.wire_ns);
+        p.counters.puts += 1;
+        p.counters.bytes_put += layout.total_size() as u64;
+    }
+
+    /// Elementwise atomic update of `target`'s region (MPI_Accumulate) with
+    /// `count` elements of `dtype` from the packed buffer `src`.
+    ///
+    /// Non-`Replace` operators interpret the data as little-endian `f64`
+    /// elements (MPI_DOUBLE), the common scientific case. The update is
+    /// atomic with respect to concurrent transfers (it holds the target
+    /// region's write lock), like hardware-accelerated MPI accumulates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access, or if a numeric operator is used
+    /// with a payload that is not a multiple of 8 bytes.
+    #[allow(clippy::too_many_arguments)] // mirrors MPI_Accumulate's signature
+    pub fn accumulate(
+        &mut self,
+        p: &mut Process,
+        src: &[u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+        op: AccumulateOp,
+    ) {
+        let layout = dtype.flatten_n(count);
+        let span = layout.span();
+        assert!(
+            disp + span <= self.shared.sizes[target],
+            "accumulate out of bounds: disp {disp} + span {span} > window size {} at target {target}",
+            self.shared.sizes[target]
+        );
+        assert_eq!(src.len(), layout.total_size(), "packed source length mismatch");
+        if op != AccumulateOp::Replace {
+            assert_eq!(
+                layout.total_size() % 8,
+                0,
+                "numeric accumulate needs f64-aligned payloads"
+            );
+            for b in layout.blocks() {
+                assert_eq!(b.len % 8, 0, "numeric accumulate needs f64-aligned blocks");
+            }
+        }
+        self.record_access(
+            p,
+            target,
+            Range2 {
+                start: disp,
+                end: disp + span,
+            },
+            true,
+        );
+        {
+            let mut region = self.shared.regions[target].write();
+            let mut cursor = 0;
+            for b in layout.blocks() {
+                let dst = &mut region[disp + b.offset..disp + b.offset + b.len];
+                let s = &src[cursor..cursor + b.len];
+                match op {
+                    AccumulateOp::Replace => dst.copy_from_slice(s),
+                    _ => {
+                        for (dc, sc) in dst.chunks_exact_mut(8).zip(s.chunks_exact(8)) {
+                            let cur = f64::from_le_bytes(dc.try_into().unwrap());
+                            let add = f64::from_le_bytes(sc.try_into().unwrap());
+                            let new = match op {
+                                AccumulateOp::Sum => cur + add,
+                                AccumulateOp::Min => cur.min(add),
+                                AccumulateOp::Max => cur.max(add),
+                                AccumulateOp::Replace => unreachable!(),
+                            };
+                            dc.copy_from_slice(&new.to_le_bytes());
+                        }
+                    }
+                }
+                cursor += b.len;
+            }
+        }
+        let cost = p.netmodel().transfer_cost(
+            self.my_rank,
+            target,
+            layout.total_size(),
+            layout.blocks().len(),
+        );
+        p.clock_mut().charge_cpu(cost.cpu_ns);
+        p.clock_mut().post_network(target, cost.wire_ns);
+        p.counters.puts += 1;
+        p.counters.bytes_put += layout.total_size() as u64;
+    }
+
+    /// Atomic fetch-and-op on a u64 at `disp` in `target`'s region
+    /// (MPI_Fetch_and_op with MPI_UINT64_T): returns the previous value
+    /// and applies `op(previous, operand)`. Atomicity comes from holding
+    /// the region's write lock for the read-modify-write.
+    ///
+    /// Unlike get/put this operation is *synchronous* in virtual time (it
+    /// charges the full round trip immediately): its result steers control
+    /// flow, so it cannot be left outstanding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disp + 8` exceeds the target region.
+    pub fn fetch_and_op(
+        &mut self,
+        p: &mut Process,
+        target: usize,
+        disp: usize,
+        operand: u64,
+        op: fn(u64, u64) -> u64,
+    ) -> u64 {
+        assert!(
+            disp + 8 <= self.shared.sizes[target],
+            "fetch_and_op out of bounds at target {target}"
+        );
+        let prev = {
+            let mut region = self.shared.regions[target].write();
+            let cur = u64::from_le_bytes(region[disp..disp + 8].try_into().unwrap());
+            let new = op(cur, operand);
+            region[disp..disp + 8].copy_from_slice(&new.to_le_bytes());
+            cur
+        };
+        let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
+        p.clock_mut().charge_cpu(cost.cpu_ns);
+        // Synchronous round trip: the wire time is paid now.
+        p.clock_mut().charge_cpu(cost.wire_ns);
+        p.counters.puts += 1;
+        p.counters.bytes_put += 8;
+        prev
+    }
+
+    /// Atomic compare-and-swap on a u64 (MPI_Compare_and_swap): if the
+    /// current value equals `expected`, stores `desired`; returns the
+    /// previous value either way. Synchronous like
+    /// [`Window::fetch_and_op`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disp + 8` exceeds the target region.
+    pub fn compare_and_swap(
+        &mut self,
+        p: &mut Process,
+        target: usize,
+        disp: usize,
+        expected: u64,
+        desired: u64,
+    ) -> u64 {
+        assert!(
+            disp + 8 <= self.shared.sizes[target],
+            "compare_and_swap out of bounds at target {target}"
+        );
+        let prev = {
+            let mut region = self.shared.regions[target].write();
+            let cur = u64::from_le_bytes(region[disp..disp + 8].try_into().unwrap());
+            if cur == expected {
+                region[disp..disp + 8].copy_from_slice(&desired.to_le_bytes());
+            }
+            cur
+        };
+        let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
+        p.clock_mut().charge_cpu(cost.cpu_ns);
+        p.clock_mut().charge_cpu(cost.wire_ns);
+        p.counters.puts += 1;
+        p.counters.bytes_put += 8;
+        prev
+    }
+
+    fn close_epoch(&mut self) {
+        self.epoch += 1;
+        self.accesses.clear();
+    }
+
+    /// Completes all outstanding operations towards `target`
+    /// (MPI_Win_flush). Counts as an epoch closure for the caching layer.
+    pub fn flush(&mut self, p: &mut Process, target: usize) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        p.clock_mut().wait_target(target);
+        p.counters.flushes += 1;
+        self.close_epoch();
+    }
+
+    /// Completes all outstanding operations towards every target
+    /// (MPI_Win_flush_all). Counts as an epoch closure.
+    pub fn flush_all(&mut self, p: &mut Process) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        p.clock_mut().wait_all();
+        p.counters.flushes += 1;
+        self.close_epoch();
+    }
+
+    /// Starts a passive-target access epoch towards `target`
+    /// (MPI_Win_lock).
+    pub fn lock(&mut self, p: &mut Process, kind: LockKind, target: usize) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        self.shared.locks.lock(kind, target);
+    }
+
+    /// Ends the passive-target epoch towards `target` (MPI_Win_unlock):
+    /// completes outstanding operations and releases the lock.
+    pub fn unlock(&mut self, p: &mut Process, target: usize) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        p.clock_mut().wait_target(target);
+        self.shared.locks.unlock(target);
+        self.close_epoch();
+    }
+
+    /// Starts a passive-target epoch towards all targets
+    /// (MPI_Win_lock_all, shared mode).
+    pub fn lock_all(&mut self, p: &mut Process) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        self.shared.locks.lock_all();
+    }
+
+    /// Ends the epoch towards all targets (MPI_Win_unlock_all).
+    pub fn unlock_all(&mut self, p: &mut Process) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        p.clock_mut().wait_all();
+        self.shared.locks.unlock_all();
+        self.close_epoch();
+    }
+
+    /// Exposes this rank's region to the `accessors` group
+    /// (MPI_Win_post): each accessor's matching [`Window::start`] may then
+    /// proceed. Non-blocking.
+    pub fn post(&mut self, p: &mut Process, accessors: &[usize]) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        for &a in accessors {
+            PscwState::signal(&self.shared.pscw.posts, &self.shared.pscw.cv, (self.my_rank, a));
+        }
+    }
+
+    /// Starts an access epoch towards the `targets` group
+    /// (MPI_Win_start): blocks until every target has posted to this rank.
+    pub fn start(&mut self, p: &mut Process, targets: &[usize]) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        for &t in targets {
+            PscwState::consume(&self.shared.pscw.posts, &self.shared.pscw.cv, (t, self.my_rank));
+        }
+        // All posts have (virtually) arrived: model one remote latency for
+        // the slowest post notification.
+        if !targets.is_empty() {
+            let l = p.netmodel().latency_ns[4];
+            let now = p.clock().now();
+            p.clock_mut().advance_to(now.max(l));
+        }
+        self.pscw_targets = targets.to_vec();
+    }
+
+    /// Completes the access epoch opened by [`Window::start`]
+    /// (MPI_Win_complete): finishes all outstanding operations and signals
+    /// each target. Closes the epoch for the caching layer.
+    pub fn complete(&mut self, p: &mut Process) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        p.clock_mut().wait_all();
+        for &t in &self.pscw_targets {
+            PscwState::signal(
+                &self.shared.pscw.completes,
+                &self.shared.pscw.cv,
+                (self.my_rank, t),
+            );
+        }
+        self.pscw_targets.clear();
+        self.close_epoch();
+    }
+
+    /// Waits until every accessor in the matching [`Window::post`] group
+    /// has called [`Window::complete`] (MPI_Win_wait). Closes the exposure
+    /// epoch.
+    pub fn wait(&mut self, p: &mut Process, accessors: &[usize]) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        for &a in accessors {
+            PscwState::consume(
+                &self.shared.pscw.completes,
+                &self.shared.pscw.cv,
+                (a, self.my_rank),
+            );
+        }
+        self.close_epoch();
+    }
+
+    /// Active-target fence (MPI_Win_fence): a collective that completes all
+    /// operations and closes the epoch on every rank.
+    pub fn fence(&mut self, p: &mut Process) {
+        let sync = p.netmodel().sync_cost();
+        p.clock_mut().charge_cpu(sync);
+        p.clock_mut().wait_all();
+        p.barrier();
+        self.close_epoch();
+    }
+}

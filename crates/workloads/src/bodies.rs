@@ -1,0 +1,110 @@
+//! Plummer-model initial conditions for the Barnes-Hut N-body simulation.
+//!
+//! The Plummer sphere is the standard benchmark distribution for
+//! hierarchical N-body codes (it is what the original Barnes-Hut paper and
+//! the UPC implementations sample): radii follow
+//! `r = a (u^{-2/3} - 1)^{-1/2}`, directions are uniform on the sphere,
+//! and all bodies carry equal mass summing to 1.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulation body.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+impl Body {
+    /// Squared distance to another body.
+    pub fn dist2(&self, other: &Body) -> f64 {
+        let dx = self.pos[0] - other.pos[0];
+        let dy = self.pos[1] - other.pos[1];
+        let dz = self.pos[2] - other.pos[2];
+        dx * dx + dy * dy + dz * dz
+    }
+}
+
+/// Samples `n` bodies from a Plummer sphere with scale radius `a = 1`,
+/// deterministically under `seed`. Velocities start at zero (the force
+/// computation phase, which is what the paper measures, is independent of
+/// the velocity distribution).
+pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mass = 1.0 / n.max(1) as f64;
+    (0..n)
+        .map(|_| {
+            // Radius from the inverse Plummer cumulative mass profile,
+            // clipping the tail to keep the octree bounded.
+            let u: f64 = rng.gen_range(1e-8..0.999f64);
+            let r = (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
+            // Uniform direction on the sphere.
+            let z: f64 = rng.gen_range(-1.0..1.0f64);
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            let s = (1.0 - z * z).sqrt();
+            Body {
+                pos: [r * s * phi.cos(), r * s * phi.sin(), r * z],
+                vel: [0.0; 3],
+                mass,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masses_sum_to_one() {
+        let bodies = plummer(1000, 1);
+        let total: f64 = bodies.iter().map(|b| b.mass).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concentrated_core() {
+        // Half the Plummer mass lies within r ~ 1.3 a.
+        let bodies = plummer(4000, 2);
+        let inside = bodies
+            .iter()
+            .filter(|b| b.pos.iter().map(|x| x * x).sum::<f64>() < 1.3 * 1.3)
+            .count();
+        let frac = inside as f64 / bodies.len() as f64;
+        assert!(
+            (0.35..0.65).contains(&frac),
+            "half-mass fraction {frac} out of band"
+        );
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        assert_eq!(plummer(100, 5), plummer(100, 5));
+        assert_ne!(plummer(100, 5), plummer(100, 6));
+    }
+
+    #[test]
+    fn dist2_is_euclidean() {
+        let a = Body {
+            pos: [0.0, 0.0, 0.0],
+            vel: [0.0; 3],
+            mass: 1.0,
+        };
+        let b = Body {
+            pos: [3.0, 4.0, 0.0],
+            vel: [0.0; 3],
+            mass: 1.0,
+        };
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn zero_bodies_is_fine() {
+        assert!(plummer(0, 0).is_empty());
+    }
+}

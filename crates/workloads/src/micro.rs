@@ -1,0 +1,239 @@
+//! The micro-benchmark get sequence of Sec. IV-A.
+//!
+//! Construction, quoting the paper:
+//!
+//! 1. create a set of `N = 1K` gets targeting *different* data, with sizes
+//!    chosen uniformly from `{2^i | i = 0..16}`;
+//! 2. build a sequence of `Z >= N` gets by sampling from that set under a
+//!    normal distribution `N(N/2, N/4)`, so that a subset of the gets is
+//!    more frequent than the others.
+//!
+//! Distinct gets are laid out back to back in the target window, so no two
+//! of them overlap and an ideal cache of infinite size would miss exactly
+//! `N` times.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One get of the micro-benchmark: a contiguous range in the target window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetSpec {
+    /// Byte displacement in the target window.
+    pub disp: usize,
+    /// Payload size in bytes.
+    pub size: usize,
+}
+
+/// A generated micro-benchmark workload.
+#[derive(Debug, Clone)]
+pub struct MicroWorkload {
+    /// The `N` distinct gets (step 1).
+    pub distinct: Vec<GetSpec>,
+    /// The issued sequence: indices into [`MicroWorkload::distinct`]
+    /// (step 2).
+    pub sequence: Vec<usize>,
+    /// Bytes the target window must expose to satisfy every get.
+    pub window_size: usize,
+}
+
+/// Parameters of the generator. The defaults are the paper's.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroParams {
+    /// Number of distinct gets `N`.
+    pub distinct: usize,
+    /// Sequence length `Z`.
+    pub sequence_len: usize,
+    /// Largest size exponent (inclusive): sizes are `2^0 ..= 2^max_exp`.
+    pub max_exp: u32,
+}
+
+impl Default for MicroParams {
+    fn default() -> Self {
+        MicroParams {
+            distinct: 1000,
+            sequence_len: 20_000,
+            max_exp: 16,
+        }
+    }
+}
+
+impl MicroWorkload {
+    /// Generates the workload deterministically under `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distinct == 0` or `sequence_len < distinct`
+    /// (the paper requires `Z >= N`).
+    pub fn generate(params: MicroParams, seed: u64) -> Self {
+        assert!(params.distinct > 0, "need at least one distinct get");
+        assert!(
+            params.sequence_len >= params.distinct,
+            "Z ({}) must be >= N ({})",
+            params.sequence_len,
+            params.distinct
+        );
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = params.distinct;
+
+        let mut distinct = Vec::with_capacity(n);
+        let mut disp = 0usize;
+        for _ in 0..n {
+            let exp = rng.gen_range(0..=params.max_exp);
+            let size = 1usize << exp;
+            distinct.push(GetSpec { disp, size });
+            disp += size;
+        }
+        let window_size = disp;
+
+        // Sample Z indices ~ N(N/2, N/4), clamped into [0, N).
+        let mean = n as f64 / 2.0;
+        let sd = n as f64 / 4.0;
+        let mut sequence = Vec::with_capacity(params.sequence_len);
+        while sequence.len() < params.sequence_len {
+            let g = sample_gaussian(&mut rng);
+            let idx = (mean + sd * g).round();
+            if idx >= 0.0 && idx < n as f64 {
+                sequence.push(idx as usize);
+            }
+            // Out-of-range samples are redrawn (truncated normal), keeping
+            // the bell shape over the index space.
+        }
+
+        MicroWorkload {
+            distinct,
+            sequence,
+            window_size,
+        }
+    }
+
+    /// Convenience: the paper's defaults with a custom sequence length.
+    pub fn paper(sequence_len: usize, seed: u64) -> Self {
+        Self::generate(
+            MicroParams {
+                sequence_len,
+                ..MicroParams::default()
+            },
+            seed,
+        )
+    }
+
+    /// Iterates the issued sequence as concrete [`GetSpec`]s.
+    pub fn issued(&self) -> impl Iterator<Item = GetSpec> + '_ {
+        self.sequence.iter().map(|&i| self.distinct[i])
+    }
+
+    /// Number of issued gets `Z`.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the sequence is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Total bytes the sequence would move without a cache.
+    pub fn total_bytes(&self) -> u64 {
+        self.issued().map(|g| g.size as u64).sum()
+    }
+}
+
+/// One standard-normal sample via Box-Muller (avoids a rand_distr
+/// dependency).
+fn sample_gaussian(rng: &mut SmallRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 <= f64::EPSILON {
+            continue;
+        }
+        let u2: f64 = rng.gen();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_gets_do_not_overlap() {
+        let w = MicroWorkload::generate(MicroParams::default(), 1);
+        let mut end = 0;
+        for g in &w.distinct {
+            assert!(g.disp >= end, "overlap at disp {}", g.disp);
+            end = g.disp + g.size;
+        }
+        assert_eq!(end, w.window_size);
+    }
+
+    #[test]
+    fn sizes_are_powers_of_two_in_range() {
+        let w = MicroWorkload::generate(MicroParams::default(), 2);
+        for g in &w.distinct {
+            assert!(g.size.is_power_of_two());
+            assert!(g.size <= 1 << 16);
+        }
+        // With 1000 uniform draws over 17 exponents, both extremes appear.
+        assert!(w.distinct.iter().any(|g| g.size <= 2));
+        assert!(w.distinct.iter().any(|g| g.size >= 1 << 15));
+    }
+
+    #[test]
+    fn sequence_prefers_the_middle() {
+        let w = MicroWorkload::generate(MicroParams::default(), 3);
+        let n = w.distinct.len();
+        let middle = w
+            .sequence
+            .iter()
+            .filter(|&&i| i >= n / 4 && i < 3 * n / 4)
+            .count();
+        // Under N(N/2, N/4) the central half holds ~68% of the mass.
+        assert!(
+            middle as f64 > 0.6 * w.sequence.len() as f64,
+            "only {middle}/{} in the central half",
+            w.sequence.len()
+        );
+        // All indices are in range (also exercised by issued()).
+        assert!(w.sequence.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = MicroWorkload::generate(MicroParams::default(), 7);
+        let b = MicroWorkload::generate(MicroParams::default(), 7);
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.distinct, b.distinct);
+        let c = MicroWorkload::generate(MicroParams::default(), 8);
+        assert_ne!(a.sequence, c.sequence);
+    }
+
+    #[test]
+    fn issued_matches_sequence() {
+        let w = MicroWorkload::generate(
+            MicroParams {
+                distinct: 10,
+                sequence_len: 100,
+                max_exp: 4,
+            },
+            5,
+        );
+        assert_eq!(w.len(), 100);
+        assert!(!w.is_empty());
+        let first = w.issued().next().unwrap();
+        assert_eq!(first, w.distinct[w.sequence[0]]);
+        assert!(w.total_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= N")]
+    fn z_smaller_than_n_rejected() {
+        let _ = MicroWorkload::generate(
+            MicroParams {
+                distinct: 100,
+                sequence_len: 10,
+                max_exp: 4,
+            },
+            0,
+        );
+    }
+}

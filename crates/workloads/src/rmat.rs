@@ -1,0 +1,241 @@
+//! The R-MAT recursive random graph generator (Chakrabarti, Zhan,
+//! Faloutsos — SDM 2004), used by the paper's LCC experiments to produce
+//! scale-free graphs modelling real-world networks.
+//!
+//! Each edge is placed by recursively descending the adjacency matrix into
+//! quadrants with probabilities `(a, b, c, d)`; the defaults are the
+//! Graph500 values `(0.57, 0.19, 0.19, 0.05)`. The output is an undirected
+//! simple graph in CSR form (duplicates and self-loops removed, both edge
+//! directions present).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// log2 of the vertex count (the paper's graph *scale* `S`).
+    pub scale: u32,
+    /// Number of generated edge tuples before deduplication (the paper
+    /// uses `|E| = EF · |V|` with edge factor 16).
+    pub edges: usize,
+    /// Quadrant probability `a` (top-left).
+    pub a: f64,
+    /// Quadrant probability `b` (top-right).
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left).
+    pub c: f64,
+}
+
+impl RmatParams {
+    /// Graph500-style parameters for scale `S` and edge factor `ef`.
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        RmatParams {
+            scale,
+            edges: edge_factor << scale,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
+    }
+
+    /// Number of vertices `2^scale`.
+    pub fn vertices(&self) -> usize {
+        1usize << self.scale
+    }
+}
+
+/// An undirected simple graph in compressed sparse row form.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Generates an R-MAT graph deterministically under `seed`.
+    pub fn rmat(params: RmatParams, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = params.vertices();
+        let mut edges = Vec::with_capacity(params.edges * 2);
+        for _ in 0..params.edges {
+            let (mut u, mut v) = (0usize, 0usize);
+            for _ in 0..params.scale {
+                let r: f64 = rng.gen();
+                let (du, dv) = if r < params.a {
+                    (0, 0)
+                } else if r < params.a + params.b {
+                    (0, 1)
+                } else if r < params.a + params.b + params.c {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | du;
+                v = (v << 1) | dv;
+            }
+            if u != v {
+                edges.push((u as u32, v as u32));
+                edges.push((v as u32, u as u32));
+            }
+        }
+        Self::from_edges(n, edges)
+    }
+
+    /// Builds a CSR from a directed edge list (deduplicating); the list
+    /// must already contain both directions for undirected graphs.
+    pub fn from_edges(n: usize, mut edges: Vec<(u32, u32)>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in &edges {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = edges.into_iter().map(|(_, v)| v).collect();
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (twice the undirected count).
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted adjacency list of `v`.
+    pub fn adj(&self, v: usize) -> &[u32] {
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether edge `(u, v)` exists (binary search).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Reference (sequential, whole-graph) Local Clustering Coefficient of
+    /// `v` (Watts-Strogatz): the fraction of existing edges among `v`'s
+    /// neighbours. 0 for vertices of degree < 2.
+    pub fn lcc(&self, v: usize) -> f64 {
+        let adj = self.adj(v);
+        let deg = adj.len();
+        if deg < 2 {
+            return 0.0;
+        }
+        let mut closed = 0usize;
+        for (i, &u) in adj.iter().enumerate() {
+            for &w in &adj[i + 1..] {
+                if self.has_edge(u as usize, w as usize) {
+                    closed += 1;
+                }
+            }
+        }
+        2.0 * closed as f64 / (deg * (deg - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_simple_and_symmetric() {
+        let g = Csr::rmat(RmatParams::graph500(10, 8), 42);
+        assert_eq!(g.num_vertices(), 1024);
+        for v in 0..g.num_vertices() {
+            let adj = g.adj(v);
+            // Sorted, no self loops, no duplicates.
+            for w in adj.windows(2) {
+                assert!(w[0] < w[1], "unsorted or duplicate at vertex {v}");
+            }
+            for &u in adj {
+                assert_ne!(u as usize, v, "self loop at {v}");
+                assert!(g.has_edge(u as usize, v), "asymmetric edge {v}->{u}");
+            }
+        }
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // Scale-free: the max degree dwarfs the average degree.
+        let g = Csr::rmat(RmatParams::graph500(12, 16), 7);
+        let n = g.num_vertices();
+        let avg = g.num_edges() as f64 / n as f64;
+        let max = (0..n).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            max as f64 > 8.0 * avg,
+            "max degree {max} not skewed vs avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn rmat_deterministic() {
+        let a = Csr::rmat(RmatParams::graph500(8, 8), 3);
+        let b = Csr::rmat(RmatParams::graph500(8, 8), 3);
+        assert_eq!(a.offsets, b.offsets);
+        assert_eq!(a.targets, b.targets);
+    }
+
+    #[test]
+    fn lcc_of_triangle_is_one() {
+        let g = Csr::from_edges(
+            3,
+            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
+        );
+        for v in 0..3 {
+            assert_eq!(g.lcc(v), 1.0);
+        }
+    }
+
+    #[test]
+    fn lcc_of_path_is_zero() {
+        let g = Csr::from_edges(3, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        assert_eq!(g.lcc(0), 0.0, "degree-1 vertex");
+        assert_eq!(g.lcc(1), 0.0, "open wedge");
+    }
+
+    #[test]
+    fn lcc_partial() {
+        // Star 0-{1,2,3} plus edge 1-2: LCC(0) = 2*1/(3*2) = 1/3.
+        let g = Csr::from_edges(
+            4,
+            vec![
+                (0, 1),
+                (1, 0),
+                (0, 2),
+                (2, 0),
+                (0, 3),
+                (3, 0),
+                (1, 2),
+                (2, 1),
+            ],
+        );
+        assert!((g.lcc(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(g.lcc(3), 0.0);
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let g = Csr::from_edges(2, vec![(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_adjacency() {
+        let g = Csr::from_edges(5, vec![(0, 1), (1, 0)]);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.adj(3).is_empty());
+        assert_eq!(g.lcc(3), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Zipf-distributed key-value access streams.
+//!
+//! The paper motivates caching with the skewed reuse of irregular
+//! applications; the canonical synthetic model for such skew is a Zipf
+//! distribution over keys (rank-`k` key drawn with probability
+//! `∝ 1/k^s`). This generator drives the `abl_zipf` study: how the hit
+//! ratio and the adaptive controller respond as the skew exponent and the
+//! key population change.
+//!
+//! Sampling uses the classic rejection-free inversion by Gray et al. on
+//! the precomputed harmonic CDF — exact, O(log K) per draw.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Zipf(`s`) sampler over keys `0..population`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    rng: SmallRng,
+}
+
+impl Zipf {
+    /// A sampler over `population` keys with exponent `s >= 0`
+    /// (`s = 0` is uniform; `s ≈ 1` is classic web/DB skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population == 0` or `s` is not finite.
+    pub fn new(population: usize, s: f64, seed: u64) -> Self {
+        assert!(population > 0, "need at least one key");
+        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(population);
+        let mut acc = 0.0;
+        for k in 1..=population {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf {
+            cdf,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of keys.
+    pub fn population(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one key in `0..population` (0 is the hottest).
+    pub fn sample(&mut self) -> usize {
+        let u: f64 = self.rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Draws `n` keys.
+    pub fn sample_n(&mut self, n: usize) -> Vec<usize> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_s_is_zero() {
+        let mut z = Zipf::new(10, 0.0, 1);
+        let mut counts = [0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample()] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (1200..2800).contains(&c),
+                "uniform draw badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let mut z = Zipf::new(1000, 1.0, 2);
+        let draws = z.sample_n(50_000);
+        let head = draws.iter().filter(|&&k| k < 10).count() as f64 / draws.len() as f64;
+        // With s=1 over 1000 keys, the top-10 mass is H(10)/H(1000) ~ 39%.
+        assert!(
+            (0.30..0.50).contains(&head),
+            "top-10 mass {head} outside the Zipf band"
+        );
+        // Rank 0 is the single hottest key.
+        let zero = draws.iter().filter(|&&k| k == 0).count();
+        let one = draws.iter().filter(|&&k| k == 1).count();
+        assert!(zero > one, "rank 0 ({zero}) not hotter than rank 1 ({one})");
+    }
+
+    #[test]
+    fn higher_exponent_is_more_skewed() {
+        let mass = |s: f64| {
+            let mut z = Zipf::new(1000, s, 3);
+            let draws = z.sample_n(20_000);
+            draws.iter().filter(|&&k| k < 5).count()
+        };
+        assert!(mass(1.5) > mass(0.8), "skew not monotone in s");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Zipf::new(100, 1.2, 9).sample_n(100);
+        let b = Zipf::new(100, 1.2, 9).sample_n(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipf::new(7, 2.0, 11);
+        for _ in 0..1000 {
+            assert!(z.sample() < 7);
+        }
+    }
+}

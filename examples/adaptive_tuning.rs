@@ -1,0 +1,99 @@
+//! Watching the adaptive controller converge (Sec. III-E).
+//!
+//! Replays the paper's micro-benchmark get sequence against a CLaMPI
+//! window whose starting parameters are deliberately wrong — a tiny index
+//! and an oversized storage buffer — and prints every adjustment the
+//! adaptive strategy performs, then compares the completion time against
+//! the same run with fixed parameters.
+//!
+//! Run with: `cargo run --release --example adaptive_tuning`
+
+use clampi_repro::clampi::{AccessType, CacheParams, CachedWindow, ClampiConfig, Mode};
+use clampi_repro::clampi_datatype::Datatype;
+use clampi_repro::clampi_rma::{run_collect, Process, SimConfig};
+use clampi_repro::clampi_workloads::{micro::MicroParams, MicroWorkload};
+
+fn replay(p: &mut Process, cfg: ClampiConfig, wl: &MicroWorkload) -> (f64, Vec<String>) {
+    let my_size = if p.rank() == 1 { wl.window_size } else { 4 };
+    let mut win = CachedWindow::create(p, my_size.max(4), cfg);
+    p.barrier();
+    let mut log = Vec::new();
+    let mut elapsed = 0.0;
+    if p.rank() == 0 {
+        win.lock_all(p);
+        let mut buf = Vec::new();
+        let mut seen_resizes = 0;
+        let t0 = p.now();
+        for g in wl.issued() {
+            buf.resize(g.size, 0);
+            let class = win.get(p, &mut buf, 1, g.disp, &Datatype::bytes(g.size), 1);
+            if class != Some(AccessType::Hit) {
+                win.flush(p, 1);
+            }
+            if let Some(c) = win.cache() {
+                let events = c.resize_log();
+                for e in &events[seen_resizes..] {
+                    log.push(format!(
+                        "  after get #{:>6}: |Iw| -> {:>6} entries, |Sw| -> {:>5} KiB",
+                        e.at_seq,
+                        e.index_entries,
+                        e.storage_bytes >> 10
+                    ));
+                }
+                seen_resizes = events.len();
+            }
+        }
+        elapsed = p.now() - t0;
+        win.unlock_all(p);
+    }
+    p.barrier();
+    (elapsed, log)
+}
+
+fn main() {
+    // N = 1K distinct gets, Z = 20K issued (the paper's Sec. IV-A shape).
+    let wl = MicroWorkload::generate(
+        MicroParams {
+            distinct: 1000,
+            sequence_len: 20_000,
+            max_exp: 14,
+        },
+        11,
+    );
+    // Deliberately mis-sized start: 128-slot index, 64 MiB storage.
+    let start = CacheParams {
+        index_entries: 128,
+        storage_bytes: 64 << 20,
+        ..CacheParams::default()
+    };
+
+    println!(
+        "micro-benchmark: {} distinct gets, {} issued, window {} KiB",
+        wl.distinct.len(),
+        wl.len(),
+        wl.window_size >> 10
+    );
+    println!("start: |Iw| = 128 entries (too small), |Sw| = 64 MiB (too big)\n");
+
+    let adaptive = run_collect(SimConfig::default(), 2, |p| {
+        replay(p, ClampiConfig::adaptive(Mode::AlwaysCache, start.clone()), &wl)
+    });
+    let (t_adaptive, log) = &adaptive[0].1;
+    println!("adaptive adjustments:");
+    for line in log {
+        println!("{line}");
+    }
+
+    let fixed = run_collect(SimConfig::default(), 2, |p| {
+        replay(p, ClampiConfig::fixed(Mode::AlwaysCache, start.clone()), &wl)
+    });
+    let (t_fixed, _) = &fixed[0].1;
+
+    println!("\ncompletion time:");
+    println!("  fixed (mis-sized)  : {:>9.2} ms", t_fixed / 1e6);
+    println!(
+        "  adaptive           : {:>9.2} ms  ({:.2}x faster)",
+        t_adaptive / 1e6,
+        t_fixed / t_adaptive
+    );
+}

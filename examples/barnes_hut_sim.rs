@@ -1,0 +1,80 @@
+//! A multi-timestep Barnes-Hut N-body simulation over the RMA simulator,
+//! comparing all four backends of the paper (foMPI, native block cache,
+//! CLaMPI fixed, CLaMPI adaptive) on the force-computation phase.
+//!
+//! This is the paper's Sec. IV-B workload: the octree is read-only during
+//! each force phase, so CLaMPI runs in the *user-defined* mode and the
+//! cache is invalidated between timesteps (the tree changes as bodies
+//! move).
+//!
+//! Run with: `cargo run --release --example barnes_hut_sim -- [bodies] [ranks] [steps]`
+
+use clampi_repro::clampi::{BlockCacheConfig, CacheParams, ClampiConfig, Mode};
+use clampi_repro::clampi_apps::{force_phase, Backend, BhConfig};
+use clampi_repro::clampi_rma::{run_collect, SimConfig};
+use clampi_repro::clampi_workloads::plummer;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let nbodies: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3000);
+    let nranks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let steps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let params = CacheParams {
+        index_entries: 30_000,
+        storage_bytes: 2 << 20,
+        ..CacheParams::default()
+    };
+    let backends: Vec<Backend> = vec![
+        Backend::Fompi,
+        Backend::Native(BlockCacheConfig {
+            memory_bytes: 2 << 20,
+            ..BlockCacheConfig::default()
+        }),
+        Backend::Clampi(ClampiConfig::fixed(Mode::UserDefined, params.clone())),
+        Backend::Clampi(ClampiConfig::adaptive(Mode::UserDefined, params)),
+    ];
+
+    println!("Barnes-Hut: {nbodies} bodies, {nranks} ranks, {steps} timesteps");
+    println!(
+        "{:<16} {:>14} {:>12} {:>10}",
+        "backend", "us/body/step", "hit ratio", "checksum"
+    );
+
+    for backend in backends {
+        let label = backend.label();
+        let cfg = BhConfig::with_backend(backend);
+        // One shared body array; each timestep rebuilds the tree after a
+        // toy position update (kick along the force is omitted — the paper
+        // measures the force phase only, so a deterministic jitter keeps
+        // the tree changing without integrating motion).
+        let mut bodies = plummer(nbodies, 7);
+        let mut total_us_per_body = 0.0;
+        let mut checksum = 0.0;
+        let mut hit_ratio = 0.0;
+        for step in 0..steps {
+            let out = run_collect(SimConfig::bench(), nranks, |p| force_phase(p, &bodies, &cfg));
+            total_us_per_body += out
+                .iter()
+                .map(|(_, r)| r.time_per_body_us())
+                .fold(0.0, f64::max);
+            checksum = out.iter().map(|(_, r)| r.force_checksum).sum();
+            if let Some(s) = out[0].1.clampi_stats {
+                hit_ratio = s.hit_ratio();
+            }
+            // Deterministic tree perturbation for the next step.
+            for (i, b) in bodies.iter_mut().enumerate() {
+                let jitter = ((i * 2654435761 + step) % 1000) as f64 / 1e5;
+                b.pos[0] += jitter;
+                b.pos[1] -= jitter * 0.5;
+            }
+        }
+        println!(
+            "{:<16} {:>14.2} {:>12.3} {:>10.4}",
+            label,
+            total_us_per_body / steps as f64,
+            hit_ratio,
+            checksum
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-backend application equivalence: every caching layer must be
+//! invisible to application results, and virtual time must be a pure
+//! function of the inputs (no wall-clock leakage).
+
+use clampi_repro::clampi::{BlockCacheConfig, CacheParams, ClampiConfig, Mode};
+use clampi_repro::clampi_apps::{
+    force_phase, lcc_phase, pagerank, sequential_pagerank, Backend, BhConfig, LccConfig, PrConfig,
+};
+use clampi_repro::clampi_rma::{run_collect, SimConfig};
+use clampi_repro::clampi_workloads::{plummer, Csr, RmatParams};
+
+fn backends() -> Vec<Backend> {
+    vec![
+        Backend::Fompi,
+        Backend::Native(BlockCacheConfig::default()),
+        Backend::Clampi(ClampiConfig::fixed(Mode::UserDefined, CacheParams::default())),
+        Backend::Clampi(ClampiConfig::adaptive(
+            Mode::UserDefined,
+            CacheParams {
+                index_entries: 256, // deliberately poor start
+                storage_bytes: 256 << 10,
+                ..CacheParams::default()
+            },
+        )),
+    ]
+}
+
+#[test]
+fn barnes_hut_checksum_is_backend_invariant() {
+    let bodies = plummer(250, 41);
+    let mut checksums = Vec::new();
+    for backend in backends() {
+        let cfg = BhConfig::with_backend(backend.clone());
+        let out = run_collect(SimConfig::default(), 3, |p| force_phase(p, &bodies, &cfg));
+        let sum: f64 = out.iter().map(|(_, r)| r.force_checksum).sum();
+        checksums.push((backend.label(), sum));
+    }
+    let (_, reference) = checksums[0];
+    for (label, sum) in &checksums {
+        assert_eq!(*sum, reference, "backend {label} changed the physics");
+    }
+}
+
+#[test]
+fn lcc_is_backend_invariant() {
+    let g = Csr::rmat(RmatParams::graph500(8, 8), 43);
+    let reference: f64 = (0..g.num_vertices()).map(|v| g.lcc(v)).sum();
+    for backend in backends() {
+        let label = backend.label();
+        let mode_fixed = match &backend {
+            // LCC's graph is immutable: always-cache is the right mode.
+            Backend::Clampi(c) => Backend::Clampi(ClampiConfig {
+                mode: Mode::AlwaysCache,
+                ..c.clone()
+            }),
+            other => other.clone(),
+        };
+        let cfg = LccConfig::with_backend(mode_fixed);
+        let out = run_collect(SimConfig::default(), 3, |p| lcc_phase(p, &g, &cfg));
+        let got: f64 = out.iter().map(|(_, r)| r.lcc_sum).sum();
+        assert!(
+            (got - reference).abs() < 1e-9,
+            "backend {label}: {got} vs {reference}"
+        );
+    }
+}
+
+#[test]
+fn pagerank_is_backend_invariant() {
+    let g = Csr::rmat(RmatParams::graph500(8, 8), 45);
+    let reference = sequential_pagerank(&g, 0.85, 6);
+    for backend in backends() {
+        let label = backend.label();
+        let mut cfg = PrConfig::with_backend(backend);
+        cfg.iterations = 6;
+        let out = run_collect(SimConfig::default(), 3, |p| pagerank(p, &g, &cfg));
+        let mut got = vec![0.0; g.num_vertices()];
+        for (_, r) in &out {
+            got[r.lo..r.lo + r.scores.len()].copy_from_slice(&r.scores);
+        }
+        let err = got
+            .iter()
+            .zip(&reference)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-12, "backend {label}: max err {err}");
+    }
+}
+
+#[test]
+fn virtual_time_of_apps_is_reproducible() {
+    // Two identical runs must report identical virtual times — any
+    // divergence means wall-clock scheduling leaked into the model.
+    let bodies = plummer(150, 47);
+    let cfg = BhConfig::with_backend(Backend::Clampi(ClampiConfig::fixed(
+        Mode::UserDefined,
+        CacheParams::default(),
+    )));
+    let run_once = || {
+        run_collect(SimConfig::default(), 4, |p| force_phase(p, &bodies, &cfg))
+            .into_iter()
+            .map(|(_, r)| r.force_time_ns)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run_once(), run_once(), "virtual time not reproducible");
+}
+
+#[test]
+fn cache_pressure_does_not_change_results() {
+    // Pathologically small cache: constant conflicts, capacity misses and
+    // failures — and identical physics.
+    let bodies = plummer(200, 49);
+    let tiny = BhConfig::with_backend(Backend::Clampi(ClampiConfig::fixed(
+        Mode::UserDefined,
+        CacheParams {
+            index_entries: 8,
+            storage_bytes: 1 << 10,
+            max_insert_iters: 4,
+            ..CacheParams::default()
+        },
+    )));
+    let plain = BhConfig::with_backend(Backend::Fompi);
+    let a = run_collect(SimConfig::default(), 2, |p| force_phase(p, &bodies, &tiny));
+    let b = run_collect(SimConfig::default(), 2, |p| force_phase(p, &bodies, &plain));
+    let sa: f64 = a.iter().map(|(_, r)| r.force_checksum).sum();
+    let sb: f64 = b.iter().map(|(_, r)| r.force_checksum).sum();
+    assert_eq!(sa, sb);
+    // The tiny cache really was under pressure.
+    let stats = a[0].1.clampi_stats.unwrap();
+    assert!(
+        stats.conflicting + stats.capacity + stats.failed > 0,
+        "pressure scenario produced no evictions: {stats:?}"
+    );
+}

@@ -1,0 +1,305 @@
+//! Property-based tests on the core invariants of the caching layer.
+//!
+//! The headline property is *transparency*: for any sequence of gets, a
+//! CLaMPI window returns byte-for-byte the same data as a plain RMA
+//! window, whatever internal hit/miss/eviction path each access took.
+
+use clampi_repro::clampi::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
+use clampi_repro::clampi::index::{CuckooIndex, GetKey, InsertOutcome};
+use clampi_repro::clampi::storage::Storage;
+use clampi_repro::clampi::{AccessType, CacheCostModel, CachedWindow, ClampiConfig, Mode, VictimScheme};
+use clampi_repro::clampi_datatype::Datatype;
+use clampi_repro::clampi_rma::{run_collect, SimConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One get in a generated access pattern.
+#[derive(Debug, Clone, Copy)]
+struct Access {
+    disp: usize,
+    len: usize,
+}
+
+fn arb_accesses(win_size: usize, max_len: usize) -> impl Strategy<Value = Vec<Access>> {
+    proptest::collection::vec(
+        (0..win_size - 1, 1..max_len).prop_map(move |(disp, len)| Access {
+            disp,
+            len: len.min(win_size - disp),
+        }),
+        1..120,
+    )
+}
+
+fn arb_params() -> impl Strategy<Value = CacheParams> {
+    (
+        1usize..256,              // index entries (tiny -> conflicts)
+        256usize..32_768,         // storage bytes (tiny -> capacity/failing)
+        prop_oneof![
+            Just(VictimScheme::Full),
+            Just(VictimScheme::Temporal),
+            Just(VictimScheme::Positional)
+        ],
+        any::<u64>(),
+    )
+        .prop_map(|(index_entries, storage_bytes, victim_scheme, seed)| CacheParams {
+            index_entries,
+            storage_bytes,
+            victim_scheme,
+            seed,
+            costs: CacheCostModel::free(),
+            ..CacheParams::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cached reads always equal plain reads, under arbitrary access
+    /// patterns and adversarially small cache parameters.
+    #[test]
+    fn cached_reads_equal_plain_reads(
+        accesses in arb_accesses(2048, 512),
+        params in arb_params(),
+        epoch_every in 1usize..8,
+    ) {
+        const WIN: usize = 2048;
+        let out = run_collect(SimConfig::checked(), 2, |p| {
+            let mut win = CachedWindow::create(
+                p,
+                WIN,
+                ClampiConfig::fixed(Mode::AlwaysCache, params.clone()),
+            );
+            if p.rank() == 1 {
+                let mut m = win.local_mut();
+                for (i, b) in m.iter_mut().enumerate() {
+                    *b = (i as u8).wrapping_mul(31).wrapping_add(7);
+                }
+            }
+            p.barrier();
+            let mut bad = None;
+            if p.rank() == 0 {
+                win.lock_all(p);
+                for (k, a) in accesses.iter().enumerate() {
+                    let mut buf = vec![0u8; a.len];
+                    let class = win.get(p, &mut buf, 1, a.disp, &Datatype::bytes(a.len), 1);
+                    if class != Some(AccessType::Hit) && k % epoch_every == 0 {
+                        win.flush(p, 1);
+                    }
+                    for (j, &b) in buf.iter().enumerate() {
+                        let want = ((a.disp + j) as u8).wrapping_mul(31).wrapping_add(7);
+                        if b != want {
+                            bad = Some((k, j, b, want));
+                            break;
+                        }
+                    }
+                }
+                win.unlock_all(p);
+            }
+            p.barrier();
+            bad
+        });
+        prop_assert_eq!(out[0].1, None, "cached read diverged from window contents");
+    }
+
+    /// The Cuckoo index behaves like a map: differential test against
+    /// HashMap under interleaved insert/remove/lookup.
+    #[test]
+    fn cuckoo_matches_hashmap(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300), seed in any::<u64>()) {
+        let mut ix = CuckooIndex::new(128, 32, seed);
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        let mut next_id = 0u32;
+        let mut homeless: Option<u64> = None;
+        for (op, d) in ops {
+            // After a Cycle one resident is homeless; drop it from the
+            // model exactly like the engine drops it from the cache.
+            match op {
+                0 => {
+                    let k = GetKey { target: 0, disp: d };
+                    if model.contains_key(&d) || homeless == Some(d) {
+                        continue; // no duplicate inserts
+                    }
+                    match ix.insert(k, next_id) {
+                        InsertOutcome::Placed { .. } => {
+                            model.insert(d, next_id);
+                        }
+                        InsertOutcome::Cycle { homeless: (hk, he), .. } => {
+                            // Everyone but the homeless pair is resident.
+                            model.insert(d, next_id);
+                            model.remove(&hk.disp);
+                            let _ = he;
+                            homeless = Some(hk.disp);
+                        }
+                    }
+                    next_id += 1;
+                }
+                1 => {
+                    let k = GetKey { target: 0, disp: d };
+                    let got = ix.remove(&k);
+                    let want = model.remove(&d);
+                    prop_assert_eq!(got, want, "remove({}) mismatch", d);
+                }
+                _ => {
+                    let k = GetKey { target: 0, disp: d };
+                    let got = ix.lookup(&k);
+                    let want = model.get(&d).copied();
+                    prop_assert_eq!(got, want, "lookup({}) mismatch", d);
+                }
+            }
+            prop_assert_eq!(ix.len(), model.len());
+        }
+    }
+
+    /// The storage allocator never corrupts its structures and never loses
+    /// bytes, under arbitrary alloc/free interleavings.
+    #[test]
+    fn storage_invariants_hold(ops in proptest::collection::vec((any::<bool>(), 1usize..600), 1..250)) {
+        let mut s = Storage::new(8192);
+        let mut live: Vec<(clampi_repro::clampi::storage::DescId, Vec<u8>)> = Vec::new();
+        let mut stamp = 0u8;
+        for (do_alloc, size) in ops {
+            if do_alloc || live.is_empty() {
+                if let Some(id) = s.alloc(size, 0) {
+                    stamp = stamp.wrapping_add(1);
+                    let data = vec![stamp; size];
+                    s.write(id, &data);
+                    live.push((id, data));
+                }
+            } else {
+                let k = size % live.len();
+                let (id, data) = live.swap_remove(k);
+                // The region still holds exactly what was written.
+                prop_assert_eq!(s.read(id, data.len()), &data[..]);
+                s.free(id);
+            }
+            s.check_invariants();
+        }
+        // Free everything: the buffer must return to one free region.
+        for (id, data) in live {
+            prop_assert_eq!(s.read(id, data.len()), &data[..]);
+            s.free(id);
+        }
+        s.check_invariants();
+        prop_assert_eq!(s.free_bytes(), 8192);
+        prop_assert_eq!(s.largest_free_region(), 8192);
+    }
+
+    /// The engine's bookkeeping stays coherent under random workloads:
+    /// classifications partition the gets, residency matches the index,
+    /// and epoch closes promote exactly the pending entries.
+    #[test]
+    fn engine_accounting_is_coherent(
+        accesses in arb_accesses(4096, 256),
+        params in arb_params(),
+    ) {
+        let mut c = RmaCache::new(params);
+        for (k, a) in accesses.iter().enumerate() {
+            let key = GetKey { target: 9, disp: a.disp as u64 };
+            let sig = LayoutSig::Contig(a.len);
+            let data = vec![0xAB; a.len];
+            let mut dst = vec![0u8; a.len];
+            match c.process_lookup(key, &sig, &mut dst) {
+                Lookup::Miss => {
+                    c.finish_miss(key, sig, &data);
+                }
+                Lookup::PartialHit { .. } => {
+                    c.finish_partial(key, sig, &data);
+                }
+                Lookup::Hit => {}
+            }
+            if k % 5 == 0 {
+                c.epoch_close();
+            }
+        }
+        c.epoch_close();
+        let s = *c.stats();
+        prop_assert_eq!(
+            s.total_gets,
+            s.hits + s.direct + s.conflicting + s.capacity + s.failed,
+            "classification must partition the gets"
+        );
+        prop_assert_eq!(s.total_gets as usize, accesses.len());
+        prop_assert_eq!(c.cached_entries(), c.len(), "all entries CACHED after close");
+        prop_assert!(c.len() <= c.params().index_entries);
+        c.invalidate();
+        prop_assert!(c.is_empty());
+        prop_assert_eq!(c.free_bytes(), c.params().storage_bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The native block cache is equally transparent: block-cached reads
+    /// equal plain reads under arbitrary patterns and block sizes.
+    #[test]
+    fn blockcache_reads_equal_plain_reads(
+        accesses in arb_accesses(1024, 200),
+        block_pow in 5u32..10, // 32..512 B blocks
+        mem_kb in 1usize..8,
+    ) {
+        use clampi_repro::clampi::{BlockCacheConfig, BlockCachedWindow};
+        const WIN: usize = 1024;
+        let cfg = BlockCacheConfig {
+            block_size: 1 << block_pow,
+            memory_bytes: mem_kb << 10,
+            ..BlockCacheConfig::default()
+        };
+        let out = run_collect(SimConfig::checked(), 2, |p| {
+            let mut win = BlockCachedWindow::create(p, WIN, cfg.clone());
+            if p.rank() == 1 {
+                let mut m = win.local_mut();
+                for (i, b) in m.iter_mut().enumerate() {
+                    *b = (i as u8).wrapping_mul(13).wrapping_add(3);
+                }
+            }
+            p.barrier();
+            let mut bad = None;
+            if p.rank() == 0 {
+                win.lock_all(p);
+                for (k, a) in accesses.iter().enumerate() {
+                    let mut buf = vec![0u8; a.len];
+                    win.get(p, &mut buf, 1, a.disp, &Datatype::bytes(a.len), 1);
+                    for (j, &b) in buf.iter().enumerate() {
+                        let want = ((a.disp + j) as u8).wrapping_mul(13).wrapping_add(3);
+                        if b != want {
+                            bad = Some((k, j));
+                            break;
+                        }
+                    }
+                }
+                win.unlock_all(p);
+            }
+            p.barrier();
+            bad
+        });
+        prop_assert_eq!(out[0].1, None, "block-cached read diverged");
+    }
+
+    /// Trace replay is deterministic and its classification partitions the
+    /// gets for arbitrary traces.
+    #[test]
+    fn trace_replay_partitions_and_is_deterministic(
+        events in proptest::collection::vec((0u8..10, 0u64..64, 1u32..600), 1..150),
+        params in arb_params(),
+    ) {
+        use clampi_repro::clampi::trace::{replay, ReplayCosts, Trace};
+        let mut t = Trace::new();
+        for (kind, d, size) in events {
+            match kind {
+                0 => t.epoch_close(),
+                1 => t.invalidate(),
+                _ => t.get(0, d * 64, size),
+            }
+        }
+        let a = replay(&t, params.clone(), ReplayCosts::default());
+        let b = replay(&t, params, ReplayCosts::default());
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!(a.completion_ns, b.completion_ns);
+        let s = a.stats;
+        prop_assert_eq!(
+            s.total_gets,
+            s.hits + s.direct + s.conflicting + s.capacity + s.failed
+        );
+        prop_assert_eq!(s.total_gets as usize, t.num_gets());
+    }
+}
