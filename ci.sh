@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Hermetic CI: build + test fully offline, then verify the hermeticity
+# invariant — no Cargo.toml in the workspace may declare a dependency
+# that is not an in-tree path dependency.
+#
+# This repo builds on machines with no network and no cargo registry
+# cache, so any external crate in a dependency section is a build break
+# by definition. Run from the repo root: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== hermeticity: no non-path dependencies in any Cargo.toml =="
+bad=0
+for f in Cargo.toml crates/*/Cargo.toml; do
+    # Within [dependencies]/[dev-dependencies]/[build-dependencies]/
+    # [workspace.dependencies] sections, every non-comment entry must
+    # reference the workspace (path = / .workspace = true / workspace = true).
+    offending=$(awk '
+        /^\[/ { in_dep = ($0 ~ /dependencies\]$/) }
+        in_dep && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*(=|\.)/ {
+            if ($0 !~ /path[[:space:]]*=/ && $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+                print FILENAME ": " $0
+        }
+    ' "$f")
+    if [ -n "$offending" ]; then
+        echo "$offending"
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: external (non-path) dependency declared above" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "CI PASSED"

@@ -1,16 +1,20 @@
-//! Criterion micro-benchmarks: *wall-clock* cost of the core CLaMPI data
-//! structures, complementing the virtual-time figure binaries.
+//! Wall-clock micro-benchmarks of the core CLaMPI data structures,
+//! complementing the virtual-time figure binaries. Runs under the
+//! in-tree [`clampi_bench::timer`] harness (`harness = false`).
 //!
 //! These verify the complexity claims the paper's design rests on:
 //! constant-time Cuckoo lookups, `O(log N)` best-fit allocation, constant
 //! per-slot eviction scans, and a hit path that is just lookup + memcpy.
+//!
+//! Run with `cargo bench --bench microcosts`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
 
 use clampi::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
 use clampi::index::{CuckooIndex, GetKey, InsertOutcome};
 use clampi::storage::{FreeTree, Storage};
 use clampi::{AccessType, CacheCostModel};
+use clampi_bench::timer::Bench;
 use clampi_datatype::Datatype;
 
 fn key(d: u64) -> GetKey {
@@ -20,8 +24,8 @@ fn key(d: u64) -> GetKey {
     }
 }
 
-fn bench_cuckoo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cuckoo");
+fn bench_cuckoo() {
+    let b = Bench::new("cuckoo");
     for &cap in &[1024usize, 16384, 262144] {
         // ~80% load factor.
         let mut ix = CuckooIndex::new(cap, 32, 7);
@@ -32,79 +36,64 @@ fn bench_cuckoo(c: &mut Criterion) {
                 inserted.push(d * 64);
             }
         }
-        g.bench_with_input(BenchmarkId::new("lookup_hit", cap), &cap, |b, _| {
-            let mut i = 0;
-            b.iter(|| {
-                i = (i + 1) % inserted.len();
-                black_box(ix.lookup(&key(inserted[i])))
-            });
+        let mut i = 0;
+        b.run(&format!("lookup_hit/{cap}"), || {
+            i = (i + 1) % inserted.len();
+            black_box(ix.lookup(&key(inserted[i])));
         });
-        g.bench_with_input(BenchmarkId::new("lookup_miss", cap), &cap, |b, _| {
-            let mut d = 1u64;
-            b.iter(|| {
-                d = d.wrapping_add(97);
-                black_box(ix.lookup(&key(d * 64 + 1)))
-            });
+        let mut d = 1u64;
+        b.run(&format!("lookup_miss/{cap}"), || {
+            d = d.wrapping_add(97);
+            black_box(ix.lookup(&key(d * 64 + 1)));
         });
     }
-    g.finish();
 }
 
-fn bench_avl(c: &mut Criterion) {
-    let mut g = c.benchmark_group("avl_free_tree");
+fn bench_avl() {
+    let b = Bench::new("avl_free_tree");
     for &n in &[256usize, 4096, 65536] {
-        g.bench_with_input(BenchmarkId::new("insert_remove", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut t = FreeTree::new();
-                for i in 0..n {
-                    t.insert((i * 7919) % (n * 8) + 1, i * 64, i as u32);
-                }
-                for i in 0..n {
-                    t.remove((i * 7919) % (n * 8) + 1, i * 64);
-                }
-                black_box(t.len())
-            });
+        b.run(&format!("insert_remove/{n}"), || {
+            let mut t = FreeTree::new();
+            for i in 0..n {
+                t.insert((i * 7919) % (n * 8) + 1, i * 64, i as u32);
+            }
+            for i in 0..n {
+                t.remove((i * 7919) % (n * 8) + 1, i * 64);
+            }
+            black_box(t.len());
         });
         let mut t = FreeTree::new();
         for i in 0..n {
             t.insert((i * 7919) % (n * 8) + 1, i * 64, i as u32);
         }
-        g.bench_with_input(BenchmarkId::new("best_fit", n), &n, |b, &n| {
-            let mut want = 1;
-            b.iter(|| {
-                want = (want * 31 + 7) % (n * 8) + 1;
-                black_box(t.best_fit(want))
-            });
+        let mut want = 1;
+        b.run(&format!("best_fit/{n}"), || {
+            want = (want * 31 + 7) % (n * 8) + 1;
+            black_box(t.best_fit(want));
         });
     }
-    g.finish();
 }
 
-fn bench_storage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("storage");
-    g.bench_function("alloc_free_churn", |b| {
-        let mut s = Storage::new(1 << 20);
-        let mut live = Vec::new();
-        let mut sz = 64usize;
-        b.iter(|| {
-            sz = (sz * 31 + 97) % 4000 + 1;
-            if let Some(id) = s.alloc(sz, 0) {
-                live.push(id);
-            }
-            if live.len() > 100 {
-                s.free(live.swap_remove(sz % live.len()));
-            }
-        });
-        black_box(live.len());
+fn bench_storage() {
+    let b = Bench::new("storage");
+    let mut s = Storage::new(1 << 20);
+    let mut live = Vec::new();
+    let mut sz = 64usize;
+    b.run("alloc_free_churn", || {
+        sz = (sz * 31 + 97) % 4000 + 1;
+        if let Some(id) = s.alloc(sz, 0) {
+            live.push(id);
+        }
+        if live.len() > 100 {
+            s.free(live.swap_remove(sz % live.len()));
+        }
     });
-    g.finish();
+    black_box(live.len());
 }
 
-fn bench_cache_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_paths");
+fn bench_cache_paths() {
+    let b = Bench::new("cache_paths");
     for &size in &[256usize, 4096] {
-        g.throughput(Throughput::Bytes(size as u64));
-
         // Hit path: lookup + memcpy out of storage.
         let mut cache = RmaCache::new(CacheParams {
             index_entries: 4096,
@@ -124,60 +113,53 @@ fn bench_cache_paths(c: &mut Criterion) {
         }
         cache.epoch_close();
         let mut dst = vec![0u8; size];
-        g.bench_with_input(BenchmarkId::new("hit", size), &size, |b, _| {
-            let mut d = 0u64;
-            b.iter(|| {
-                d = (d + 1) % 512;
-                let r = cache.process_lookup(key(d * size as u64), &sig, &mut dst);
-                debug_assert_eq!(r, Lookup::Hit);
-                black_box(dst[0])
-            });
+        let mut d = 0u64;
+        b.run_with_throughput(&format!("hit/{size}"), size as u64, || {
+            d = (d + 1) % 512;
+            let r = cache.process_lookup(key(d * size as u64), &sig, &mut dst);
+            debug_assert_eq!(r, Lookup::Hit);
+            black_box(dst[0]);
         });
 
         // Miss + install + evict path under capacity pressure.
-        g.bench_with_input(BenchmarkId::new("capacity_miss", size), &size, |b, _| {
-            let mut cache = RmaCache::new(CacheParams {
-                index_entries: 64,
-                storage_bytes: 8 * size.next_multiple_of(64),
-                costs: CacheCostModel::free(),
-                ..CacheParams::default()
-            });
-            let mut d = 0u64;
-            b.iter(|| {
-                d += 1;
-                let mut dst = vec![0u8; size];
-                let r = cache.process_lookup(key(d * size as u64), &sig, &mut dst);
-                debug_assert_eq!(r, Lookup::Miss);
-                let class = cache.finish_miss(key(d * size as u64), sig.clone(), &data);
-                cache.epoch_close();
-                black_box(class == AccessType::Failed)
-            });
+        let mut cache = RmaCache::new(CacheParams {
+            index_entries: 64,
+            storage_bytes: 8 * size.next_multiple_of(64),
+            costs: CacheCostModel::free(),
+            ..CacheParams::default()
+        });
+        let mut d = 0u64;
+        b.run_with_throughput(&format!("capacity_miss/{size}"), size as u64, || {
+            d += 1;
+            let mut dst = vec![0u8; size];
+            let r = cache.process_lookup(key(d * size as u64), &sig, &mut dst);
+            debug_assert_eq!(r, Lookup::Miss);
+            let class = cache.finish_miss(key(d * size as u64), sig.clone(), &data);
+            cache.epoch_close();
+            black_box(class == AccessType::Failed);
         });
     }
-    g.finish();
 }
 
-fn bench_datatype(c: &mut Criterion) {
-    let mut g = c.benchmark_group("datatype");
+fn bench_datatype() {
+    let b = Bench::new("datatype");
     let strided = Datatype::vector(64, 1, 4, Datatype::double());
-    g.bench_function("flatten_strided_64", |b| {
-        b.iter(|| black_box(strided.flatten()));
+    b.run("flatten_strided_64", || {
+        black_box(strided.flatten());
     });
     let layout = strided.flatten();
     let src = vec![1u8; layout.span()];
     let mut dst = vec![0u8; layout.total_size()];
-    g.bench_function("pack_strided_64", |b| {
-        b.iter(|| {
-            clampi_datatype::pack(&src, &layout, &mut dst);
-            black_box(dst[0])
-        });
+    let bytes = layout.total_size() as u64;
+    b.run_with_throughput("pack_strided_64", bytes, || {
+        clampi_datatype::pack(&src, &layout, &mut dst);
+        black_box(dst[0]);
     });
-    g.finish();
 }
 
-fn bench_trace_replay(c: &mut Criterion) {
+fn bench_trace_replay() {
     use clampi::trace::{replay, ReplayCosts, Trace};
-    let mut g = c.benchmark_group("trace_replay");
+    let b = Bench::new("trace_replay");
     let mut t = Trace::new();
     for round in 0..10u64 {
         for d in 0..1000u64 {
@@ -186,32 +168,27 @@ fn bench_trace_replay(c: &mut Criterion) {
         }
         let _ = round;
     }
-    g.throughput(Throughput::Elements(t.num_gets() as u64));
-    g.bench_function("replay_10k_gets", |b| {
-        b.iter(|| {
-            let r = replay(
-                &t,
-                CacheParams {
-                    index_entries: 2048,
-                    storage_bytes: 1 << 20,
-                    costs: CacheCostModel::free(),
-                    ..CacheParams::default()
-                },
-                ReplayCosts::default(),
-            );
-            black_box(r.stats.hits)
-        });
+    b.run("replay_10k_gets", || {
+        let r = replay(
+            &t,
+            CacheParams {
+                index_entries: 2048,
+                storage_bytes: 1 << 20,
+                costs: CacheCostModel::free(),
+                ..CacheParams::default()
+            },
+            ReplayCosts::default(),
+        );
+        black_box(r.stats.hits);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_cuckoo,
-    bench_avl,
-    bench_storage,
-    bench_cache_paths,
-    bench_datatype,
-    bench_trace_replay
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` forwards unknown flags (e.g. `--bench`) — ignore them.
+    bench_cuckoo();
+    bench_avl();
+    bench_storage();
+    bench_cache_paths();
+    bench_datatype();
+    bench_trace_replay();
+}

@@ -1,8 +1,9 @@
 //! Benchmark harness for the CLaMPI reproduction.
 //!
 //! One binary per figure of the paper's evaluation (`fig01` … `fig18`,
-//! matching the numbering in DESIGN.md), plus Criterion micro-benchmarks
-//! of the core data structures under `benches/`.
+//! matching the numbering in DESIGN.md), plus wall-clock micro-benchmarks
+//! of the core data structures under `benches/`, driven by the in-tree
+//! [`timer`] runner (the workspace is hermetic — no Criterion).
 //!
 //! Every figure binary prints a self-describing TSV: `#`-prefixed comment
 //! lines carry the experiment metadata (paper parameters, seed, scale),
@@ -18,6 +19,7 @@ pub mod access;
 pub mod cli;
 pub mod micro;
 pub mod summary;
+pub mod timer;
 
 pub use cli::Args;
 pub use micro::{run_micro, MicroRunConfig, MicroRunResult};

@@ -1,0 +1,199 @@
+//! Minimal wall-clock micro-benchmark runner on `std::time::Instant`.
+//!
+//! The workspace builds hermetically (no external crates), so the
+//! Criterion harness is replaced by this runner. It keeps the parts of
+//! the methodology that matter for the complexity claims the benches
+//! verify:
+//!
+//! - **warmup** before measuring, so caches/branch predictors settle;
+//! - **calibration**: the per-sample iteration count is chosen so one
+//!   sample takes roughly [`Bench::sample_target`], amortising the
+//!   `Instant::now()` overhead;
+//! - **many samples** with min / median / mean reported — min is the
+//!   least noisy estimator for short deterministic kernels, median is
+//!   robust to scheduler interference;
+//! - `std::hint::black_box` at every call site to keep the optimiser
+//!   from deleting the measured work.
+//!
+//! Output is one self-describing line per benchmark:
+//!
+//! ```text
+//! cuckoo/lookup_hit/1024            min 12 ns/iter  median 13 ns/iter  mean 13.2 ns/iter  (64 samples x 65536 iters)
+//! ```
+//!
+//! No statistical significance testing or HTML reports — for A/B
+//! comparisons, redirect runs to files and diff.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group/runner. Construct with [`Bench::new`], then call
+/// [`Bench::run`] (or [`Bench::run_with_throughput`]) once per benchmark.
+pub struct Bench {
+    /// Group label printed as the id prefix (`group/name`).
+    group: String,
+    /// Time spent warming up before calibration.
+    pub warmup: Duration,
+    /// Target wall-clock duration of one sample.
+    pub sample_target: Duration,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Summary statistics of one benchmark, in ns/iter.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub min_ns: f64,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub iters_per_sample: u64,
+    pub samples: usize,
+}
+
+impl Bench {
+    /// A runner for a named group with the default budget (~0.3 s warmup,
+    /// 5 ms samples, 64 samples per benchmark).
+    pub fn new(group: &str) -> Self {
+        Bench {
+            group: group.to_string(),
+            warmup: Duration::from_millis(300),
+            sample_target: Duration::from_millis(5),
+            samples: 64,
+        }
+    }
+
+    /// Time `f` and print one summary line. Returns the stats so callers
+    /// can post-process (the figure binaries don't need to).
+    pub fn run<F: FnMut()>(&self, name: &str, f: F) -> Stats {
+        let stats = self.measure(f);
+        println!(
+            "{:<44} min {:>10} median {:>10} mean {:>10}  ({} samples x {} iters)",
+            format!("{}/{}", self.group, name),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        stats
+    }
+
+    /// Like [`Bench::run`], but also report throughput computed from
+    /// `bytes` processed per iteration.
+    pub fn run_with_throughput<F: FnMut()>(&self, name: &str, bytes: u64, f: F) -> Stats {
+        let stats = self.measure(f);
+        let gib_s = bytes as f64 / stats.median_ns; // bytes/ns == GB/s
+        println!(
+            "{:<44} min {:>10} median {:>10} mean {:>10}  {:>8.2} GB/s  ({} samples x {} iters)",
+            format!("{}/{}", self.group, name),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.mean_ns),
+            gib_s,
+            stats.samples,
+            stats.iters_per_sample,
+        );
+        stats
+    }
+
+    fn measure<F: FnMut()>(&self, mut f: F) -> Stats {
+        // Warmup: run until the warmup budget is spent.
+        let start = Instant::now();
+        while start.elapsed() < self.warmup {
+            f();
+        }
+
+        // Calibrate iters-per-sample so a sample hits sample_target.
+        // Grow geometrically to avoid quadratic calibration cost.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            let took = t.elapsed();
+            if took >= self.sample_target {
+                break;
+            }
+            // At least double; scale straight to target when close.
+            let scale = if took.as_nanos() == 0 {
+                16.0
+            } else {
+                (self.sample_target.as_nanos() as f64 / took.as_nanos() as f64).max(2.0)
+            };
+            iters = ((iters as f64 * scale).ceil() as u64).min(1 << 40);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let min_ns = per_iter_ns[0];
+        let median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        let mean_ns = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        Stats {
+            min_ns,
+            median_ns,
+            mean_ns,
+            iters_per_sample: iters,
+            samples: self.samples,
+        }
+    }
+}
+
+/// Human units: ns below 10 µs, µs below 10 ms, ms above.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 10_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 10_000_000.0 {
+        format!("{:.1} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bench {
+        let mut b = Bench::new("test");
+        b.warmup = Duration::from_millis(1);
+        b.sample_target = Duration::from_micros(50);
+        b.samples = 5;
+        b
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let mut x = 0u64;
+        let s = quick().measure(|| {
+            x = std::hint::black_box(x.wrapping_mul(6364136223846793005).wrapping_add(1));
+        });
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.iters_per_sample >= 1);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn ordering_min_le_median_le_max_like_mean_band() {
+        let s = quick().measure(|| {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert!(s.min_ns <= s.median_ns);
+        // Mean sits inside the observed range, so >= min.
+        assert!(s.mean_ns >= s.min_ns);
+    }
+
+    #[test]
+    fn fmt_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(45_600.0), "45.6 us");
+        assert_eq!(fmt_ns(12_000_000.0), "12.00 ms");
+    }
+}

@@ -27,8 +27,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use clampi_datatype::FlatLayout;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clampi_prng::SmallRng;
 
 use crate::costs::CacheCostModel;
 use crate::eviction::{positional_score, score, temporal_score, VictimScheme};

@@ -72,10 +72,15 @@ pub fn temporal_score(last: u64, now: u64) -> f64 {
 /// The positional score `R_P = min(|ags - d_c| / ags, 1)`.
 ///
 /// Lower means "evicting this entry likely frees a hole of about the size
-/// the workload is asking for". When `ags` is not yet meaningful (<= 0),
-/// every entry scores 1 (position carries no information).
+/// the workload is asking for". When `ags` is not yet meaningful — not a
+/// finite positive number — every entry scores 1 (position carries no
+/// information). The NaN/infinite guard matters: `ags` is a running mean
+/// fed by the caller, and a degenerate mean must degrade victim selection
+/// to temporal-only, not poison the score comparison with NaN (any
+/// comparison against NaN is false, which would freeze the victim scan on
+/// its first candidate).
 pub fn positional_score(ags: f64, adjacent_free: usize) -> f64 {
-    if ags <= 0.0 {
+    if !ags.is_finite() || ags <= 0.0 {
         return 1.0;
     }
     ((ags - adjacent_free as f64).abs() / ags).min(1.0)
@@ -126,6 +131,17 @@ mod tests {
     fn positional_score_degenerate_ags() {
         assert_eq!(positional_score(0.0, 500), 1.0);
         assert_eq!(positional_score(-1.0, 0), 1.0);
+    }
+
+    #[test]
+    fn positional_score_non_finite_ags_is_neutral_not_nan() {
+        for ags in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            for adj in [0usize, 1, 1 << 20] {
+                let s = positional_score(ags, adj);
+                assert_eq!(s, 1.0, "ags={ags}, adj={adj}");
+                assert!(!s.is_nan());
+            }
+        }
     }
 
     #[test]

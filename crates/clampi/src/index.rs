@@ -10,8 +10,7 @@
 //! paper does **not** rehash — it reports the failure so the caller can
 //! treat the access as *conflicting* and evict an entry on the path.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clampi_prng::SmallRng;
 
 /// Number of hash functions (97 % load factor per Fotakis et al.).
 pub const NUM_HASHES: usize = 4;
@@ -55,8 +54,8 @@ struct UniversalHasher {
 impl UniversalHasher {
     fn new(rng: &mut SmallRng) -> Self {
         UniversalHasher {
-            a: rng.gen::<u64>() | 1, // odd multiplier
-            b: rng.gen::<u64>(),
+            a: rng.gen_u64() | 1, // odd multiplier
+            b: rng.gen_u64(),
         }
     }
 
@@ -288,34 +287,47 @@ mod tests {
 
     #[test]
     fn fills_to_high_load_factor() {
-        // Fotakis et al. report ~97% utilization with p=4; we should
-        // comfortably reach 90% on a small table.
+        // Fotakis et al. report ~97% utilization with p=4. The exact
+        // point of the first cycle depends on the hash coefficients, so
+        // assert over several seeds: every run must clear 85% and the
+        // average must clear 90% (a single seed sits right at the
+        // threshold and would pin the test to one PRNG stream).
         let cap = 256;
-        let mut ix = idx(cap);
-        let mut inserted = 0;
-        let mut homeless_key = None;
-        for d in 0..cap as u64 {
-            match ix.insert(key(0, d), d as EntryId) {
-                InsertOutcome::Placed { .. } => inserted += 1,
-                InsertOutcome::Cycle { homeless, .. } => {
-                    // The walk leaves exactly one (displaced) pair homeless.
-                    homeless_key = Some(homeless.0);
-                    break;
+        let mut total_inserted = 0usize;
+        let seeds = [42u64, 7, 99, 1234, 5555];
+        for &seed in &seeds {
+            let mut ix = CuckooIndex::new(cap, 32, seed);
+            let mut inserted = 0usize;
+            let mut homeless_key = None;
+            for d in 0..cap as u64 {
+                match ix.insert(key(0, d), d as EntryId) {
+                    InsertOutcome::Placed { .. } => inserted += 1,
+                    InsertOutcome::Cycle { homeless, .. } => {
+                        // The walk leaves exactly one (displaced) pair homeless.
+                        homeless_key = Some(homeless.0);
+                        break;
+                    }
                 }
             }
-        }
-        assert!(
-            inserted as f64 >= 0.90 * cap as f64,
-            "only {inserted}/{cap} inserted before first cycle"
-        );
-        // Everything inserted is still findable, except the homeless pair
-        // the cycle displaced out of the table.
-        for d in 0..inserted as u64 {
-            if homeless_key == Some(key(0, d)) {
-                continue;
+            assert!(
+                inserted as f64 >= 0.85 * cap as f64,
+                "seed {seed}: only {inserted}/{cap} inserted before first cycle"
+            );
+            total_inserted += inserted;
+            // Everything inserted is still findable, except the homeless
+            // pair the cycle displaced out of the table.
+            for d in 0..inserted as u64 {
+                if homeless_key == Some(key(0, d)) {
+                    continue;
+                }
+                assert_eq!(ix.lookup(&key(0, d)), Some(d as EntryId), "d={d}");
             }
-            assert_eq!(ix.lookup(&key(0, d)), Some(d as EntryId), "d={d}");
         }
+        let mean = total_inserted as f64 / seeds.len() as f64;
+        assert!(
+            mean >= 0.90 * cap as f64,
+            "mean fill before first cycle too low: {mean}/{cap}"
+        );
     }
 
     #[test]

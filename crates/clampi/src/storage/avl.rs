@@ -365,13 +365,12 @@ mod tests {
 
     #[test]
     fn interleaved_insert_remove_random() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let mut rng = clampi_prng::SmallRng::seed_from_u64(99);
         let mut t = FreeTree::new();
         let mut live: Vec<(usize, usize)> = Vec::new();
         for step in 0..2000 {
             if live.is_empty() || rng.gen_bool(0.6) {
-                let key = (rng.gen_range(1..10000), step * 7);
+                let key = (rng.gen_range(1..10000usize), step * 7);
                 t.insert(key.0, key.1, 0);
                 live.push(key);
             } else {

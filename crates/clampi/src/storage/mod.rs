@@ -393,13 +393,12 @@ mod tests {
 
     #[test]
     fn many_random_alloc_free_cycles_hold_invariants() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let mut rng = clampi_prng::SmallRng::seed_from_u64(5);
         let mut s = Storage::new(64 * 1024);
         let mut live: Vec<DescId> = Vec::new();
         for i in 0..3000u32 {
             if live.is_empty() || rng.gen_bool(0.55) {
-                if let Some(id) = s.alloc(rng.gen_range(1..2048), i) {
+                if let Some(id) = s.alloc(rng.gen_range(1..2048usize), i) {
                     live.push(id);
                 }
             } else {

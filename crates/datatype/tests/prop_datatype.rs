@@ -1,72 +1,92 @@
-//! Property-based tests for datatype flattening and pack/unpack.
+//! Property-based tests for datatype flattening and pack/unpack
+//! (in-tree harness).
 
 use clampi_datatype::{pack, unpack, Datatype};
-use proptest::prelude::*;
+use clampi_prng::prop::{check, Gen};
 
-/// Strategy producing small random datatypes with bounded nesting.
-fn arb_datatype() -> impl Strategy<Value = Datatype> {
-    let leaf = (1usize..64).prop_map(Datatype::bytes);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            // Vector with stride >= blocklen.
-            (1usize..5, 1usize..4, 0usize..4, inner.clone()).prop_map(
-                |(count, blocklen, extra, dt)| Datatype::vector(
-                    count,
-                    blocklen,
-                    blocklen + extra,
-                    dt
-                )
-            ),
-            // Indexed with non-overlapping, spaced fields.
-            (proptest::collection::vec(inner.clone(), 1..4)).prop_map(|dts| {
-                let mut fields = Vec::new();
-                let mut off = 0;
-                for d in dts {
-                    let ext = d.extent();
-                    fields.push((off, d));
-                    off += ext + 3; // always leave a gap
-                }
-                Datatype::indexed(fields)
-            }),
-            // Resized with a larger extent.
-            (inner, 0usize..16)
-                .prop_map(|(d, pad)| { Datatype::resized(d.extent() + pad, d) }),
-        ]
-    })
-}
-
-proptest! {
-    /// Flattened payload size always equals the recursive size().
-    #[test]
-    fn flatten_total_matches_size(dt in arb_datatype(), count in 1usize..4) {
-        let flat = dt.flatten_n(count);
-        prop_assert_eq!(flat.total_size(), dt.size() * count);
+/// A small random datatype with nesting depth at most `depth`.
+fn arb_datatype(g: &mut Gen, depth: usize) -> Datatype {
+    if depth == 0 || g.bool_with(0.4) {
+        return Datatype::bytes(g.range(1..64usize));
     }
-
-    /// The span never exceeds count * extent and blocks are sorted & disjoint.
-    #[test]
-    fn flatten_blocks_sorted_disjoint(dt in arb_datatype(), count in 1usize..4) {
-        let flat = dt.flatten_n(count);
-        prop_assert!(flat.span() <= dt.extent() * count);
-        let mut prev_end = 0;
-        for b in flat.blocks() {
-            prop_assert!(b.offset >= prev_end);
-            prop_assert!(b.len > 0);
-            prev_end = b.end();
+    match g.range(0..3u32) {
+        // Vector with stride >= blocklen.
+        0 => {
+            let count = g.range(1..5usize);
+            let blocklen = g.range(1..4usize);
+            let extra = g.range(0..4usize);
+            let inner = arb_datatype(g, depth - 1);
+            Datatype::vector(count, blocklen, blocklen + extra, inner)
+        }
+        // Indexed with non-overlapping, spaced fields.
+        1 => {
+            let n = g.range(1..4usize);
+            let mut fields = Vec::new();
+            let mut off = 0;
+            for _ in 0..n {
+                let d = arb_datatype(g, depth - 1);
+                let ext = d.extent();
+                fields.push((off, d));
+                off += ext + 3; // always leave a gap
+            }
+            Datatype::indexed(fields)
+        }
+        // Resized with a larger extent.
+        _ => {
+            let pad = g.range(0..16usize);
+            let inner = arb_datatype(g, depth - 1);
+            Datatype::resized(inner.extent() + pad, inner)
         }
     }
+}
 
-    /// pack then unpack restores exactly the bytes the layout covers.
-    #[test]
-    fn pack_unpack_roundtrip(dt in arb_datatype(), count in 1usize..3, seed in any::<u64>()) {
+/// Flattened payload size always equals the recursive size().
+#[test]
+fn flatten_total_matches_size() {
+    check("flatten total == size * count", 256, |g| {
+        let dt = arb_datatype(g, 3);
+        let count = g.range(1..4usize);
+        let flat = dt.flatten_n(count);
+        assert_eq!(flat.total_size(), dt.size() * count);
+    });
+}
+
+/// The span never exceeds count * extent and blocks are sorted & disjoint.
+#[test]
+fn flatten_blocks_sorted_disjoint() {
+    check("flatten blocks sorted and disjoint", 256, |g| {
+        let dt = arb_datatype(g, 3);
+        let count = g.range(1..4usize);
+        let flat = dt.flatten_n(count);
+        assert!(flat.span() <= dt.extent() * count);
+        let mut prev_end = 0;
+        for b in flat.blocks() {
+            assert!(b.offset >= prev_end);
+            assert!(b.len > 0);
+            prev_end = b.end();
+        }
+    });
+}
+
+/// pack then unpack restores exactly the bytes the layout covers.
+#[test]
+fn pack_unpack_roundtrip() {
+    check("pack/unpack roundtrip", 256, |g| {
+        let dt = arb_datatype(g, 3);
+        let count = g.range(1..3usize);
+        let seed = g.u64();
         let flat = dt.flatten_n(count);
         let span = flat.span().max(1);
         // Pseudo-random source buffer.
         let mut state = seed | 1;
-        let src: Vec<u8> = (0..span).map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (state >> 56) as u8
-        }).collect();
+        let src: Vec<u8> = (0..span)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
 
         let mut packed = vec![0u8; flat.total_size()];
         pack(&src, &flat, &mut packed);
@@ -80,18 +100,21 @@ proptest! {
         }
         for i in 0..span {
             if covered[i] {
-                prop_assert_eq!(dst[i], src[i], "covered byte {} differs", i);
+                assert_eq!(dst[i], src[i], "covered byte {i} differs");
             } else {
-                prop_assert_eq!(dst[i], 0, "gap byte {} was written", i);
+                assert_eq!(dst[i], 0, "gap byte {i} was written");
             }
         }
-    }
+    });
+}
 
-    /// Coalescing is idempotent: re-flattening the blocks yields the same layout.
-    #[test]
-    fn coalesce_idempotent(dt in arb_datatype()) {
+/// Coalescing is idempotent: re-flattening the blocks yields the same layout.
+#[test]
+fn coalesce_idempotent() {
+    check("coalesce idempotent", 256, |g| {
+        let dt = arb_datatype(g, 3);
         let flat = dt.flatten();
         let again = clampi_datatype::FlatLayout::new(flat.blocks().to_vec());
-        prop_assert_eq!(flat, again);
-    }
+        assert_eq!(flat, again);
+    });
 }

@@ -1,0 +1,206 @@
+//! A minimal property-test harness: seeded case generation with
+//! failure-seed reporting, replacing `proptest` for this workspace.
+//!
+//! Scope is deliberately small — no shrinking, no strategy combinators —
+//! because the workspace's properties only need uniform draws and sized
+//! collections. What it keeps from proptest is the part that matters for a
+//! hermetic, deterministic build:
+//!
+//! - **Fixed case counts**: [`check`] runs exactly `cases` cases (override
+//!   with `CLAMPI_PROP_CASES`), each with a seed derived deterministically
+//!   from a fixed base, so CI runs are reproducible byte-for-byte.
+//! - **Failure-seed reporting**: when a case fails, the harness prints the
+//!   case's 64-bit seed; re-run just that case with
+//!   `CLAMPI_PROP_SEED=<seed>`.
+//!
+//! # Examples
+//!
+//! ```
+//! use clampi_prng::prop::check;
+//!
+//! check("reverse twice is identity", 64, |g| {
+//!     let v = g.vec(0..20usize, |g| g.range(0..1000u64));
+//!     let mut w = v.clone();
+//!     w.reverse();
+//!     w.reverse();
+//!     assert_eq!(v, w);
+//! });
+//! ```
+
+use crate::{SmallRng, UniformRange};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-case generator handed to the property closure: a seeded RNG plus
+/// small helpers for the common draw shapes.
+#[derive(Debug)]
+pub struct Gen {
+    rng: SmallRng,
+}
+
+impl Gen {
+    /// A generator for one case, seeded with `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// An arbitrary `u64` (the harness's `any::<u64>()`).
+    pub fn u64(&mut self) -> u64 {
+        self.rng.gen_u64()
+    }
+
+    /// An arbitrary `bool` (fair coin).
+    pub fn bool(&mut self) -> bool {
+        self.rng.gen_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A uniform draw from `range` (integer or float ranges).
+    pub fn range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        self.rng.gen_range(range)
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// produced by `f` (the harness's `collection::vec`).
+    pub fn vec<T, L, F>(&mut self, len: L, mut f: F) -> Vec<T>
+    where
+        L: UniformRange<Output = usize>,
+        F: FnMut(&mut Gen) -> T,
+    {
+        let n = self.rng.gen_range(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+}
+
+/// Base seed for deriving per-case seeds; fixed so CI is reproducible.
+const BASE_SEED: u64 = 0xC1A3_0CAC_4E5E_ED01;
+
+/// Runs `property` for `cases` deterministic cases, panicking with the
+/// failing case's seed on the first failure.
+///
+/// Environment overrides:
+///
+/// - `CLAMPI_PROP_SEED=<u64>` (decimal or `0x…` hex): run exactly one case
+///   with that seed — the replay knob printed on failure.
+/// - `CLAMPI_PROP_CASES=<n>`: override the case count (e.g. a long soak).
+pub fn check<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut Gen),
+{
+    if let Some(seed) = env_seed() {
+        eprintln!("property '{name}': replaying single case with seed {seed:#x}");
+        run_case(name, 0, seed, &mut property);
+        return;
+    }
+    let cases = env_cases().unwrap_or(cases);
+    // Each property gets its own seed stream, offset by the property name,
+    // so adding a property never shifts the cases of its neighbours.
+    let mut stream = crate::SplitMix64::new(BASE_SEED ^ fnv1a(name.as_bytes()));
+    for case in 0..cases {
+        let seed = stream.next_u64();
+        run_case(name, case, seed, &mut property);
+    }
+}
+
+fn run_case<F: FnMut(&mut Gen)>(name: &str, case: u64, seed: u64, property: &mut F) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut g = Gen::from_seed(seed);
+        property(&mut g);
+    }));
+    if let Err(payload) = result {
+        eprintln!(
+            "property '{name}' failed at case {case} (seed {seed:#018x}); \
+             replay with CLAMPI_PROP_SEED={seed}"
+        );
+        resume_unwind(payload);
+    }
+}
+
+fn env_seed() -> Option<u64> {
+    let v = std::env::var("CLAMPI_PROP_SEED").ok()?;
+    parse_u64(&v)
+}
+
+fn env_cases() -> Option<u64> {
+    let v = std::env::var("CLAMPI_PROP_CASES").ok()?;
+    parse_u64(&v)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counted = std::cell::Cell::new(0u64);
+        check("counts", 17, |g| {
+            let _ = g.u64();
+            counted.set(counted.get() + 1);
+        });
+        assert_eq!(counted.get(), 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let mut seen = Vec::new();
+            check("det", 8, |g| seen.push(g.u64()));
+            seen
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn different_properties_get_different_streams() {
+        let mut a = Vec::new();
+        check("stream-a", 4, |g| a.push(g.u64()));
+        let mut b = Vec::new();
+        check("stream-b", 4, |g| b.push(g.u64()));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn failing_property_reports_and_propagates() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always-fails", 10, |_| panic!("boom"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        check("vec-len", 32, |g| {
+            let v = g.vec(2..6usize, |g| g.range(0..10u64));
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        });
+    }
+}

@@ -11,9 +11,11 @@
 //!   SPMD discipline applies: every rank must call every collective in the
 //!   same order.
 
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+
+use crate::sync;
 
 /// A reusable barrier over `n` participants that max-reduces an `f64`.
 #[derive(Debug)]
@@ -54,7 +56,7 @@ impl ReduceBarrier {
     /// Enters the barrier contributing `value`; returns the maximum over
     /// all participants' contributions once everyone has arrived.
     pub fn wait_max(&self, value: f64) -> f64 {
-        let mut st = self.state.lock();
+        let mut st = sync::lock(&self.state);
         st.pending_max = st.pending_max.max(value);
         st.count += 1;
         if st.count == self.n {
@@ -67,7 +69,7 @@ impl ReduceBarrier {
         } else {
             let gen = st.generation;
             while st.generation == gen {
-                self.cv.wait(&mut st);
+                st = sync::wait(&self.cv, st);
             }
             st.result
         }
@@ -113,7 +115,7 @@ impl Exchange {
     /// `seq`, or a rank deposits twice (both are SPMD ordering bugs).
     pub fn allgather<T: Any + Send + Clone>(&self, seq: u64, rank: usize, value: T) -> Vec<T> {
         {
-            let mut slots = self.slots.lock();
+            let mut slots = sync::lock(&self.slots);
             let entry = slots
                 .entry(seq)
                 .or_insert_with(|| (0..self.n).map(|_| None).collect());
@@ -125,7 +127,7 @@ impl Exchange {
         }
         self.barrier.wait(); // all deposited
         let gathered: Vec<T> = {
-            let slots = self.slots.lock();
+            let slots = sync::lock(&self.slots);
             let entry = &slots[&seq];
             entry
                 .iter()
@@ -143,7 +145,7 @@ impl Exchange {
         };
         self.barrier.wait(); // all copied out
         if rank == 0 {
-            self.slots.lock().remove(&seq);
+            sync::lock(&self.slots).remove(&seq);
         }
         gathered
     }
@@ -163,7 +165,7 @@ impl Exchange {
             "exactly the root must supply the broadcast value"
         );
         {
-            let mut slots = self.slots.lock();
+            let mut slots = sync::lock(&self.slots);
             let entry = slots
                 .entry(seq)
                 .or_insert_with(|| (0..self.n).map(|_| None).collect());
@@ -173,7 +175,7 @@ impl Exchange {
         }
         self.barrier.wait();
         let out: T = {
-            let slots = self.slots.lock();
+            let slots = sync::lock(&self.slots);
             slots[&seq][root]
                 .as_ref()
                 .expect("root value missing")
@@ -183,7 +185,7 @@ impl Exchange {
         };
         self.barrier.wait();
         if rank == 0 {
-            self.slots.lock().remove(&seq);
+            sync::lock(&self.slots).remove(&seq);
         }
         out
     }

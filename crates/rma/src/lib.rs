@@ -5,7 +5,8 @@
 //! with a deterministic simulator:
 //!
 //! - **Ranks are OS threads** inside one process ([`run`]); window memory is
-//!   shared byte buffers protected by `parking_lot` reader/writer locks.
+//!   shared byte buffers protected by `std::sync` reader/writer locks
+//!   (poison-tolerant: a panicking rank does not cascade into the others).
 //! - **MPI-3 passive-target semantics**: windows ([`Window`]) support
 //!   `lock`/`unlock`, `lock_all`/`unlock_all`, `flush`/`flush_all`, `fence`,
 //!   and `get`/`put` with arbitrary [`clampi_datatype::Datatype`] layouts.
@@ -60,6 +61,7 @@ pub mod collectives;
 pub mod lockmgr;
 pub mod netmodel;
 pub mod process;
+mod sync;
 pub mod topology;
 pub mod window;
 
@@ -69,7 +71,32 @@ pub use process::{run, run_collect, OpCounters, Process, RankReport, SimConfig};
 pub use topology::{Distance, Topology};
 pub use window::{AccumulateOp, LockKind, RmaRequest, Window};
 
-/// Write guard over a rank's own window region (see [`Window::local_mut`]).
-pub type MappedWriteGuard<'a> = parking_lot::MappedRwLockWriteGuard<'a, [u8]>;
-/// Read guard over a rank's own window region (see [`Window::local_ref`]).
-pub type MappedReadGuard<'a> = parking_lot::MappedRwLockReadGuard<'a, [u8]>;
+/// Write guard over a rank's own window region (see [`Window::local_mut`]),
+/// dereferencing straight to the byte slice.
+#[derive(Debug)]
+pub struct MappedWriteGuard<'a>(pub(crate) std::sync::RwLockWriteGuard<'a, Box<[u8]>>);
+
+impl std::ops::Deref for MappedWriteGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for MappedWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Read guard over a rank's own window region (see [`Window::local_ref`]),
+/// dereferencing straight to the byte slice.
+#[derive(Debug)]
+pub struct MappedReadGuard<'a>(pub(crate) std::sync::RwLockReadGuard<'a, Box<[u8]>>);
+
+impl std::ops::Deref for MappedReadGuard<'_> {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}

@@ -10,7 +10,9 @@
 //! model) and it is independent from the `RwLock` that protects the raw
 //! window bytes during individual transfers.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
+
+use crate::sync;
 
 /// Lock mode for [`LockManager::lock`], mirroring `MPI_LOCK_SHARED` /
 /// `MPI_LOCK_EXCLUSIVE`.
@@ -51,17 +53,17 @@ impl LockManager {
     /// Panics if `target` is out of range.
     pub fn lock(&self, kind: LockKind, target: usize) {
         let (m, cv) = &self.targets[target];
-        let mut st = m.lock();
+        let mut st = sync::lock(m);
         match kind {
             LockKind::Shared => {
                 while st.exclusive_held {
-                    cv.wait(&mut st);
+                    st = sync::wait(cv, st);
                 }
                 st.shared_holders += 1;
             }
             LockKind::Exclusive => {
                 while st.exclusive_held || st.shared_holders > 0 {
-                    cv.wait(&mut st);
+                    st = sync::wait(cv, st);
                 }
                 st.exclusive_held = true;
             }
@@ -76,7 +78,7 @@ impl LockManager {
     /// lock is an MPI usage error).
     pub fn unlock(&self, target: usize) {
         let (m, cv) = &self.targets[target];
-        let mut st = m.lock();
+        let mut st = sync::lock(m);
         if st.exclusive_held {
             st.exclusive_held = false;
         } else if st.shared_holders > 0 {

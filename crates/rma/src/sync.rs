@@ -1,0 +1,70 @@
+//! Poison-tolerant wrappers over `std::sync` primitives.
+//!
+//! The simulator previously used `parking_lot`, which has no lock
+//! poisoning: a rank (thread) panicking while holding a lock left the lock
+//! usable for every other rank. `std::sync` locks instead poison on a
+//! panicking holder, and a naive `.unwrap()` would cascade that one
+//! panic through every other rank's `get`/`put` — silently changing the
+//! simulator's failure semantics. These helpers recover the inner guard
+//! with `unwrap_or_else(|e| e.into_inner())`, restoring parking_lot's
+//! behaviour: the panicking rank fails its own test/run, the others keep
+//! simulating (window bytes are plain data; there is no invariant a
+//! half-completed memcpy can break that the epoch discipline doesn't
+//! already forbid).
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks `m`, recovering from poisoning.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Read-locks `l`, recovering from poisoning.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-locks `l`, recovering from poisoning.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Waits on `cv`, recovering the guard from poisoning.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn mutex_survives_a_panicking_holder() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("holder dies");
+        })
+        .join();
+        // The lock is poisoned; a plain unwrap would propagate the panic.
+        assert!(m.lock().is_err());
+        assert_eq!(*lock(&m), 7, "poison-tolerant lock still works");
+    }
+
+    #[test]
+    fn rwlock_survives_a_panicking_writer() {
+        let l = Arc::new(RwLock::new(vec![1u8, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let mut g = l2.write().unwrap();
+            g[0] = 9;
+            panic!("writer dies");
+        })
+        .join();
+        assert_eq!(read(&l)[0], 9, "completed writes are visible");
+        write(&l)[1] = 8;
+        assert_eq!(&*read(&l), &[9, 8, 3]);
+    }
+}

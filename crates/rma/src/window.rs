@@ -2,8 +2,11 @@
 //!
 //! A [`Window`] is the per-rank handle to a collectively created memory
 //! exposure (`MPI_Win_allocate`). The shared state (`WinShared`) holds one
-//! byte region per rank behind a `parking_lot::RwLock` — `get`s take read
-//! locks, `put`s write locks, so the data path is entirely safe Rust. MPI's
+//! byte region per rank behind a `std::sync::RwLock` — `get`s take read
+//! locks, `put`s write locks, so the data path is entirely safe Rust.
+//! Lock acquisition goes through the poison-tolerant wrappers in
+//! `crate::sync`, so one panicking simulated rank cannot cascade poison
+//! errors through every other rank's `get`/`put`. MPI's
 //! epoch discipline (no conflicting put/get in one epoch) keeps real
 //! contention negligible; an optional conflict checker enforces that
 //! discipline for the initiator's own operations.
@@ -15,12 +18,12 @@
 //! "closes epoch"). [`Window::epoch`] implements exactly that counter; it is
 //! what the caching layer samples as `x.eph`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use clampi_datatype::{Datatype, FlatLayout};
-use parking_lot::RwLock;
 
 use crate::process::Process;
+use crate::sync;
 
 pub use crate::lockmgr::LockKind;
 use crate::lockmgr::LockManager;
@@ -66,27 +69,27 @@ impl WinShared {
 /// unmatched `complete`s accessor B has issued towards target A.
 #[derive(Debug, Default)]
 pub(crate) struct PscwState {
-    posts: parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
-    completes: parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
-    cv: parking_lot::Condvar,
+    posts: Mutex<std::collections::HashMap<(usize, usize), u32>>,
+    completes: Mutex<std::collections::HashMap<(usize, usize), u32>>,
+    cv: Condvar,
 }
 
 impl PscwState {
     fn signal(
-        map: &parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
-        cv: &parking_lot::Condvar,
+        map: &Mutex<std::collections::HashMap<(usize, usize), u32>>,
+        cv: &Condvar,
         key: (usize, usize),
     ) {
-        *map.lock().entry(key).or_default() += 1;
+        *sync::lock(map).entry(key).or_default() += 1;
         cv.notify_all();
     }
 
     fn consume(
-        map: &parking_lot::Mutex<std::collections::HashMap<(usize, usize), u32>>,
-        cv: &parking_lot::Condvar,
+        map: &Mutex<std::collections::HashMap<(usize, usize), u32>>,
+        cv: &Condvar,
         key: (usize, usize),
     ) {
-        let mut m = map.lock();
+        let mut m = sync::lock(map);
         loop {
             if let Some(c) = m.get_mut(&key) {
                 if *c > 0 {
@@ -94,7 +97,7 @@ impl PscwState {
                     return;
                 }
             }
-            cv.wait(&mut m);
+            m = sync::wait(cv, m);
         }
     }
 }
@@ -173,15 +176,13 @@ impl Window {
 
     /// Mutable access to this rank's own exposed region (direct local
     /// stores, outside any epoch — the usual way apps initialize windows).
-    pub fn local_mut(&self) -> parking_lot::MappedRwLockWriteGuard<'_, [u8]> {
-        parking_lot::RwLockWriteGuard::map(self.shared.regions[self.my_rank].write(), |b| {
-            &mut b[..]
-        })
+    pub fn local_mut(&self) -> crate::MappedWriteGuard<'_> {
+        crate::MappedWriteGuard(sync::write(&self.shared.regions[self.my_rank]))
     }
 
     /// Shared read access to this rank's own exposed region.
-    pub fn local_ref(&self) -> parking_lot::MappedRwLockReadGuard<'_, [u8]> {
-        parking_lot::RwLockReadGuard::map(self.shared.regions[self.my_rank].read(), |b| &b[..])
+    pub fn local_ref(&self) -> crate::MappedReadGuard<'_> {
+        crate::MappedReadGuard(sync::read(&self.shared.regions[self.my_rank]))
     }
 
     fn record_access(&mut self, p: &Process, target: usize, range: Range2, is_put: bool) {
@@ -264,7 +265,7 @@ impl Window {
             false,
         );
         {
-            let region = self.shared.regions[target].read();
+            let region = sync::read(&self.shared.regions[target]);
             clampi_datatype::pack(&region[disp..disp + span], layout, dst);
         }
         let cost =
@@ -388,7 +389,7 @@ impl Window {
             true,
         );
         {
-            let mut region = self.shared.regions[target].write();
+            let mut region = sync::write(&self.shared.regions[target]);
             clampi_datatype::unpack(src, &layout, &mut region[disp..disp + span]);
         }
         let cost = p.netmodel().transfer_cost(
@@ -454,7 +455,7 @@ impl Window {
             true,
         );
         {
-            let mut region = self.shared.regions[target].write();
+            let mut region = sync::write(&self.shared.regions[target]);
             let mut cursor = 0;
             for b in layout.blocks() {
                 let dst = &mut region[disp + b.offset..disp + b.offset + b.len];
@@ -515,7 +516,7 @@ impl Window {
             "fetch_and_op out of bounds at target {target}"
         );
         let prev = {
-            let mut region = self.shared.regions[target].write();
+            let mut region = sync::write(&self.shared.regions[target]);
             let cur = u64::from_le_bytes(region[disp..disp + 8].try_into().unwrap());
             let new = op(cur, operand);
             region[disp..disp + 8].copy_from_slice(&new.to_le_bytes());
@@ -551,7 +552,7 @@ impl Window {
             "compare_and_swap out of bounds at target {target}"
         );
         let prev = {
-            let mut region = self.shared.regions[target].write();
+            let mut region = sync::write(&self.shared.regions[target]);
             let cur = u64::from_le_bytes(region[disp..disp + 8].try_into().unwrap());
             if cur == expected {
                 region[disp..disp + 8].copy_from_slice(&desired.to_le_bytes());

@@ -6,8 +6,7 @@
 //! `r = a (u^{-2/3} - 1)^{-1/2}`, directions are uniform on the sphere,
 //! and all bodies carry equal mass summing to 1.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clampi_prng::SmallRng;
 
 /// One simulation body.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,10 +40,10 @@ pub fn plummer(n: usize, seed: u64) -> Vec<Body> {
         .map(|_| {
             // Radius from the inverse Plummer cumulative mass profile,
             // clipping the tail to keep the octree bounded.
-            let u: f64 = rng.gen_range(1e-8..0.999f64);
+            let u: f64 = rng.gen_range(1e-8..0.999);
             let r = (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
             // Uniform direction on the sphere.
-            let z: f64 = rng.gen_range(-1.0..1.0f64);
+            let z: f64 = rng.gen_range(-1.0..1.0);
             let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
             let s = (1.0 - z * z).sqrt();
             Body {

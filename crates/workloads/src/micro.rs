@@ -12,8 +12,7 @@
 //! of them overlap and an ideal cache of infinite size would miss exactly
 //! `N` times.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clampi_prng::SmallRng;
 
 /// One get of the micro-benchmark: a contiguous range in the target window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,11 +141,11 @@ impl MicroWorkload {
 /// dependency).
 fn sample_gaussian(rng: &mut SmallRng) -> f64 {
     loop {
-        let u1: f64 = rng.gen();
+        let u1: f64 = rng.gen_f64();
         if u1 <= f64::EPSILON {
             continue;
         }
-        let u2: f64 = rng.gen();
+        let u2: f64 = rng.gen_f64();
         return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
     }
 }

@@ -8,8 +8,7 @@
 //! simple graph in CSR form (duplicates and self-loops removed, both edge
 //! directions present).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clampi_prng::SmallRng;
 
 /// R-MAT generation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -61,7 +60,7 @@ impl Csr {
         for _ in 0..params.edges {
             let (mut u, mut v) = (0usize, 0usize);
             for _ in 0..params.scale {
-                let r: f64 = rng.gen();
+                let r: f64 = rng.gen_f64();
                 let (du, dv) = if r < params.a {
                     (0, 0)
                 } else if r < params.a + params.b {

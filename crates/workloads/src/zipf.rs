@@ -10,8 +10,7 @@
 //! Sampling uses the classic rejection-free inversion by Gray et al. on
 //! the precomputed harmonic CDF — exact, O(log K) per draw.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use clampi_prng::SmallRng;
 
 /// A Zipf(`s`) sampler over keys `0..population`.
 #[derive(Debug, Clone)]
@@ -53,7 +52,7 @@ impl Zipf {
 
     /// Draws one key in `0..population` (0 is the hottest).
     pub fn sample(&mut self) -> usize {
-        let u: f64 = self.rng.gen();
+        let u: f64 = self.rng.gen_f64();
         match self
             .cdf
             .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in CDF"))

@@ -1,0 +1,86 @@
+//! Golden-value regression tests: the workload generators are part of the
+//! experiment definition, so their output for a fixed seed is pinned
+//! exactly. A change to the in-tree PRNG, to sampling order, or to any
+//! generator silently reseeds every figure — these tests turn that into a
+//! loud failure instead.
+//!
+//! The pinned values were produced by this tree's `clampi-prng`
+//! (SplitMix64-seeded xoshiro256**). They are platform-independent: all
+//! integer paths are exact, and the float paths pin *bit patterns*
+//! (`f64::to_bits`), not approximate values.
+
+use clampi_workloads::{plummer, Csr, RmatParams, Zipf};
+
+/// First 16 ranks drawn from Zipf(population=1000, s=0.99, seed=42).
+#[test]
+fn zipf_first_samples_are_pinned() {
+    let mut z = Zipf::new(1000, 0.99, 42);
+    assert_eq!(
+        z.sample_n(16),
+        [0, 9, 96, 579, 942, 186, 128, 336, 175, 46, 98, 4, 235, 6, 121, 412]
+    );
+}
+
+/// The same Zipf stream twice: identical, sample by sample.
+#[test]
+fn zipf_same_seed_same_stream() {
+    let a = Zipf::new(4096, 0.7, 7).sample_n(500);
+    let b = Zipf::new(4096, 0.7, 7).sample_n(500);
+    assert_eq!(a, b);
+    // And a different seed diverges (not a constant generator).
+    let c = Zipf::new(4096, 0.7, 8).sample_n(500);
+    assert_ne!(a, c);
+}
+
+/// R-MAT graph500(scale=6, ef=8) under seed 42: edge count, the degree
+/// sequence prefix, and vertex 0's adjacency prefix are pinned.
+#[test]
+fn rmat_graph_is_pinned() {
+    let g = Csr::rmat(RmatParams::graph500(6, 8), 42);
+    assert_eq!(g.num_vertices(), 64);
+    assert_eq!(g.num_edges(), 512);
+    let degs: Vec<usize> = (0..8).map(|v| g.degree(v)).collect();
+    assert_eq!(degs, [36, 26, 22, 13, 28, 9, 11, 8]);
+    assert_eq!(&g.adj(0)[..12], [1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13]);
+}
+
+/// Same-seed R-MAT builds are identical down to the CSR arrays.
+#[test]
+fn rmat_same_seed_same_graph() {
+    let a = Csr::rmat(RmatParams::graph500(7, 12), 99);
+    let b = Csr::rmat(RmatParams::graph500(7, 12), 99);
+    assert_eq!(a.num_edges(), b.num_edges());
+    for v in 0..a.num_vertices() {
+        assert_eq!(a.adj(v), b.adj(v), "adjacency of {v} differs");
+    }
+}
+
+/// Plummer bodies under seed 42: positions pinned by bit pattern.
+#[test]
+fn plummer_bodies_are_pinned() {
+    let bodies = plummer(6, 42);
+    assert_eq!(bodies.len(), 6);
+    let golden_pos: [[u64; 3]; 6] = [
+        [0xbfc9b7b195531e16, 0xbfdb587c7e13281a, 0xbfbe27051319c6d3],
+        [0x3fb882a007eaf13a, 0xbfe893681e5bb43a, 0x4010e2f902db6039],
+        [0x3fba4ac926cf8723, 0xbff6f437af01089a, 0x3ff68edbf69366bf],
+        [0xbfd6e29a7058460a, 0x3ff5e53bbdc6316f, 0x3fe1bd41dcd82e76],
+        [0xbfe20c98528a2d2e, 0xc0021dde84637207, 0xbfec8ed6626285c2],
+        [0x3ffe96740f112558, 0xc004ab0ac86b8904, 0x3fe8b31f2630042f],
+    ];
+    for (i, (body, want)) in bodies.iter().zip(golden_pos).enumerate() {
+        assert_eq!(body.pos.map(f64::to_bits), want, "body {i} position");
+        // Equal masses summing to 1: each is exactly 1/6.
+        assert_eq!(body.mass.to_bits(), (1.0f64 / 6.0).to_bits(), "body {i} mass");
+    }
+}
+
+/// Same-seed Plummer spheres are bit-identical, different seeds diverge.
+#[test]
+fn plummer_same_seed_same_bodies() {
+    let a = plummer(100, 1234);
+    let b = plummer(100, 1234);
+    assert_eq!(a, b);
+    let c = plummer(100, 1235);
+    assert_ne!(a, c);
+}

@@ -1,81 +1,91 @@
-//! Property-based tests for the workload generators.
+//! Property-based tests for the workload generators (in-tree harness).
 
+use clampi_prng::prop::check;
 use clampi_workloads::micro::MicroParams;
 use clampi_workloads::{plummer, Csr, MicroWorkload, RmatParams};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// R-MAT graphs are always simple and symmetric, for any shape/seed.
-    #[test]
-    fn rmat_always_simple_symmetric(scale in 4u32..10, ef in 1usize..12, seed in any::<u64>()) {
-        let g = Csr::rmat(RmatParams::graph500(scale, ef), seed);
-        prop_assert_eq!(g.num_vertices(), 1 << scale);
+/// R-MAT graphs are always simple and symmetric, for any shape/seed.
+#[test]
+fn rmat_always_simple_symmetric() {
+    check("rmat simple and symmetric", 32, |g| {
+        let scale = g.range(4..10u32);
+        let ef = g.range(1..12usize);
+        let seed = g.u64();
+        let graph = Csr::rmat(RmatParams::graph500(scale, ef), seed);
+        assert_eq!(graph.num_vertices(), 1 << scale);
         let mut directed_edges = 0usize;
-        for v in 0..g.num_vertices() {
-            let adj = g.adj(v);
+        for v in 0..graph.num_vertices() {
+            let adj = graph.adj(v);
             directed_edges += adj.len();
             for w in adj.windows(2) {
-                prop_assert!(w[0] < w[1], "unsorted/duplicate adjacency at {}", v);
+                assert!(w[0] < w[1], "unsorted/duplicate adjacency at {v}");
             }
             for &u in adj {
-                prop_assert!((u as usize) < g.num_vertices());
-                prop_assert_ne!(u as usize, v, "self loop at {}", v);
-                prop_assert!(g.has_edge(u as usize, v), "asymmetric edge {} -> {}", v, u);
+                assert!((u as usize) < graph.num_vertices());
+                assert_ne!(u as usize, v, "self loop at {v}");
+                assert!(graph.has_edge(u as usize, v), "asymmetric edge {v} -> {u}");
             }
         }
-        prop_assert_eq!(directed_edges, g.num_edges());
-        prop_assert_eq!(directed_edges % 2, 0, "undirected graph needs even directed count");
-    }
+        assert_eq!(directed_edges, graph.num_edges());
+        assert_eq!(directed_edges % 2, 0, "undirected graph needs even directed count");
+    });
+}
 
-    /// LCC values are always within [0, 1].
-    #[test]
-    fn lcc_bounded(scale in 4u32..9, seed in any::<u64>()) {
-        let g = Csr::rmat(RmatParams::graph500(scale, 8), seed);
-        for v in 0..g.num_vertices() {
-            let l = g.lcc(v);
-            prop_assert!((0.0..=1.0).contains(&l), "LCC({}) = {}", v, l);
+/// LCC values are always within [0, 1].
+#[test]
+fn lcc_bounded() {
+    check("lcc in unit interval", 32, |g| {
+        let scale = g.range(4..9u32);
+        let seed = g.u64();
+        let graph = Csr::rmat(RmatParams::graph500(scale, 8), seed);
+        for v in 0..graph.num_vertices() {
+            let l = graph.lcc(v);
+            assert!((0.0..=1.0).contains(&l), "LCC({v}) = {l}");
         }
-    }
+    });
+}
 
-    /// The micro-workload's issued gets always reference valid distinct
-    /// gets that fit the window, and Z is exactly as requested.
-    #[test]
-    fn micro_workload_well_formed(
-        n in 1usize..300,
-        extra in 0usize..2000,
-        max_exp in 0u32..14,
-        seed in any::<u64>(),
-    ) {
+/// The micro-workload's issued gets always reference valid distinct gets
+/// that fit the window, and Z is exactly as requested.
+#[test]
+fn micro_workload_well_formed() {
+    check("micro workload well formed", 32, |g| {
+        let n = g.range(1..300usize);
+        let extra = g.range(0..2000usize);
+        let max_exp = g.range(0..14u32);
+        let seed = g.u64();
         let w = MicroWorkload::generate(
             MicroParams { distinct: n, sequence_len: n + extra, max_exp },
             seed,
         );
-        prop_assert_eq!(w.distinct.len(), n);
-        prop_assert_eq!(w.len(), n + extra);
-        for g in w.issued() {
-            prop_assert!(g.disp + g.size <= w.window_size);
-            prop_assert!(g.size.is_power_of_two());
-            prop_assert!(g.size <= 1 << max_exp);
+        assert_eq!(w.distinct.len(), n);
+        assert_eq!(w.len(), n + extra);
+        for get in w.issued() {
+            assert!(get.disp + get.size <= w.window_size);
+            assert!(get.size.is_power_of_two());
+            assert!(get.size <= 1 << max_exp);
         }
         // Distinct gets tile the window exactly.
         let total: usize = w.distinct.iter().map(|g| g.size).sum();
-        prop_assert_eq!(total, w.window_size);
-    }
+        assert_eq!(total, w.window_size);
+    });
+}
 
-    /// Plummer bodies: mass normalized, positions finite.
-    #[test]
-    fn plummer_masses_and_positions_sane(n in 1usize..2000, seed in any::<u64>()) {
+/// Plummer bodies: mass normalized, positions finite.
+#[test]
+fn plummer_masses_and_positions_sane() {
+    check("plummer bodies sane", 32, |g| {
+        let n = g.range(1..2000usize);
+        let seed = g.u64();
         let bodies = plummer(n, seed);
-        prop_assert_eq!(bodies.len(), n);
+        assert_eq!(bodies.len(), n);
         let total: f64 = bodies.iter().map(|b| b.mass).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "total mass {}", total);
+        assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
         for b in &bodies {
             for d in 0..3 {
-                prop_assert!(b.pos[d].is_finite());
+                assert!(b.pos[d].is_finite());
             }
-            prop_assert!(b.mass > 0.0);
+            assert!(b.mass > 0.0);
         }
-    }
+    });
 }

@@ -9,9 +9,11 @@
 //! - [`clampi_datatype`] — the datatype library
 //! - [`clampi_workloads`] — workload generators (microbench, R-MAT, bodies)
 //! - [`clampi_apps`] — Barnes-Hut and Local Clustering Coefficient
+//! - [`clampi_prng`] — the in-tree PRNG and property-test harness
 
 pub use clampi;
 pub use clampi_apps;
 pub use clampi_datatype;
+pub use clampi_prng;
 pub use clampi_rma;
 pub use clampi_workloads;

@@ -1,4 +1,5 @@
-//! Property-based tests on the core invariants of the caching layer.
+//! Property-based tests on the core invariants of the caching layer
+//! (in-tree harness).
 //!
 //! The headline property is *transparency*: for any sequence of gets, a
 //! CLaMPI window returns byte-for-byte the same data as a plain RMA
@@ -9,8 +10,8 @@ use clampi_repro::clampi::index::{CuckooIndex, GetKey, InsertOutcome};
 use clampi_repro::clampi::storage::Storage;
 use clampi_repro::clampi::{AccessType, CacheCostModel, CachedWindow, ClampiConfig, Mode, VictimScheme};
 use clampi_repro::clampi_datatype::Datatype;
+use clampi_repro::clampi_prng::prop::{check, Gen};
 use clampi_repro::clampi_rma::{run_collect, SimConfig};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// One get in a generated access pattern.
@@ -20,49 +21,42 @@ struct Access {
     len: usize,
 }
 
-fn arb_accesses(win_size: usize, max_len: usize) -> impl Strategy<Value = Vec<Access>> {
-    proptest::collection::vec(
-        (0..win_size - 1, 1..max_len).prop_map(move |(disp, len)| Access {
+fn arb_accesses(g: &mut Gen, win_size: usize, max_len: usize) -> Vec<Access> {
+    g.vec(1..120usize, |g| {
+        let disp = g.range(0..win_size - 1);
+        let len = g.range(1..max_len);
+        Access {
             disp,
             len: len.min(win_size - disp),
-        }),
-        1..120,
-    )
+        }
+    })
 }
 
-fn arb_params() -> impl Strategy<Value = CacheParams> {
-    (
-        1usize..256,              // index entries (tiny -> conflicts)
-        256usize..32_768,         // storage bytes (tiny -> capacity/failing)
-        prop_oneof![
-            Just(VictimScheme::Full),
-            Just(VictimScheme::Temporal),
-            Just(VictimScheme::Positional)
-        ],
-        any::<u64>(),
-    )
-        .prop_map(|(index_entries, storage_bytes, victim_scheme, seed)| CacheParams {
-            index_entries,
-            storage_bytes,
-            victim_scheme,
-            seed,
-            costs: CacheCostModel::free(),
-            ..CacheParams::default()
-        })
+fn arb_params(g: &mut Gen) -> CacheParams {
+    let victim_scheme = match g.range(0..3u32) {
+        0 => VictimScheme::Full,
+        1 => VictimScheme::Temporal,
+        _ => VictimScheme::Positional,
+    };
+    CacheParams {
+        index_entries: g.range(1..256usize), // tiny -> conflicts
+        storage_bytes: g.range(256..32_768usize), // tiny -> capacity/failing
+        victim_scheme,
+        seed: g.u64(),
+        costs: CacheCostModel::free(),
+        ..CacheParams::default()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Cached reads always equal plain reads, under arbitrary access
-    /// patterns and adversarially small cache parameters.
-    #[test]
-    fn cached_reads_equal_plain_reads(
-        accesses in arb_accesses(2048, 512),
-        params in arb_params(),
-        epoch_every in 1usize..8,
-    ) {
+/// Cached reads always equal plain reads, under arbitrary access patterns
+/// and adversarially small cache parameters.
+#[test]
+fn cached_reads_equal_plain_reads() {
+    check("cached reads equal plain reads", 48, |g| {
         const WIN: usize = 2048;
+        let accesses = arb_accesses(g, WIN, 512);
+        let params = arb_params(g);
+        let epoch_every = g.range(1..8usize);
         let out = run_collect(SimConfig::checked(), 2, |p| {
             let mut win = CachedWindow::create(
                 p,
@@ -98,13 +92,17 @@ proptest! {
             p.barrier();
             bad
         });
-        prop_assert_eq!(out[0].1, None, "cached read diverged from window contents");
-    }
+        assert_eq!(out[0].1, None, "cached read diverged from window contents");
+    });
+}
 
-    /// The Cuckoo index behaves like a map: differential test against
-    /// HashMap under interleaved insert/remove/lookup.
-    #[test]
-    fn cuckoo_matches_hashmap(ops in proptest::collection::vec((0u8..3, 0u64..64), 1..300), seed in any::<u64>()) {
+/// The Cuckoo index behaves like a map: differential test against HashMap
+/// under interleaved insert/remove/lookup.
+#[test]
+fn cuckoo_matches_hashmap() {
+    check("cuckoo index matches HashMap", 48, |g| {
+        let ops = g.vec(1..300usize, |g| (g.range(0..3u32) as u8, g.range(0..64u64)));
+        let seed = g.u64();
         let mut ix = CuckooIndex::new(128, 32, seed);
         let mut model: HashMap<u64, u32> = HashMap::new();
         let mut next_id = 0u32;
@@ -136,23 +134,26 @@ proptest! {
                     let k = GetKey { target: 0, disp: d };
                     let got = ix.remove(&k);
                     let want = model.remove(&d);
-                    prop_assert_eq!(got, want, "remove({}) mismatch", d);
+                    assert_eq!(got, want, "remove({d}) mismatch");
                 }
                 _ => {
                     let k = GetKey { target: 0, disp: d };
                     let got = ix.lookup(&k);
                     let want = model.get(&d).copied();
-                    prop_assert_eq!(got, want, "lookup({}) mismatch", d);
+                    assert_eq!(got, want, "lookup({d}) mismatch");
                 }
             }
-            prop_assert_eq!(ix.len(), model.len());
+            assert_eq!(ix.len(), model.len());
         }
-    }
+    });
+}
 
-    /// The storage allocator never corrupts its structures and never loses
-    /// bytes, under arbitrary alloc/free interleavings.
-    #[test]
-    fn storage_invariants_hold(ops in proptest::collection::vec((any::<bool>(), 1usize..600), 1..250)) {
+/// The storage allocator never corrupts its structures and never loses
+/// bytes, under arbitrary alloc/free interleavings.
+#[test]
+fn storage_invariants_hold() {
+    check("storage invariants hold", 48, |g| {
+        let ops = g.vec(1..250usize, |g| (g.bool(), g.range(1..600usize)));
         let mut s = Storage::new(8192);
         let mut live: Vec<(clampi_repro::clampi::storage::DescId, Vec<u8>)> = Vec::new();
         let mut stamp = 0u8;
@@ -168,29 +169,30 @@ proptest! {
                 let k = size % live.len();
                 let (id, data) = live.swap_remove(k);
                 // The region still holds exactly what was written.
-                prop_assert_eq!(s.read(id, data.len()), &data[..]);
+                assert_eq!(s.read(id, data.len()), &data[..]);
                 s.free(id);
             }
             s.check_invariants();
         }
         // Free everything: the buffer must return to one free region.
         for (id, data) in live {
-            prop_assert_eq!(s.read(id, data.len()), &data[..]);
+            assert_eq!(s.read(id, data.len()), &data[..]);
             s.free(id);
         }
         s.check_invariants();
-        prop_assert_eq!(s.free_bytes(), 8192);
-        prop_assert_eq!(s.largest_free_region(), 8192);
-    }
+        assert_eq!(s.free_bytes(), 8192);
+        assert_eq!(s.largest_free_region(), 8192);
+    });
+}
 
-    /// The engine's bookkeeping stays coherent under random workloads:
-    /// classifications partition the gets, residency matches the index,
-    /// and epoch closes promote exactly the pending entries.
-    #[test]
-    fn engine_accounting_is_coherent(
-        accesses in arb_accesses(4096, 256),
-        params in arb_params(),
-    ) {
+/// The engine's bookkeeping stays coherent under random workloads:
+/// classifications partition the gets, residency matches the index, and
+/// epoch closes promote exactly the pending entries.
+#[test]
+fn engine_accounting_is_coherent() {
+    check("engine accounting coherent", 48, |g| {
+        let accesses = arb_accesses(g, 4096, 256);
+        let params = arb_params(g);
         let mut c = RmaCache::new(params);
         for (k, a) in accesses.iter().enumerate() {
             let key = GetKey { target: 9, disp: a.disp as u64 };
@@ -212,33 +214,30 @@ proptest! {
         }
         c.epoch_close();
         let s = *c.stats();
-        prop_assert_eq!(
+        assert_eq!(
             s.total_gets,
             s.hits + s.direct + s.conflicting + s.capacity + s.failed,
             "classification must partition the gets"
         );
-        prop_assert_eq!(s.total_gets as usize, accesses.len());
-        prop_assert_eq!(c.cached_entries(), c.len(), "all entries CACHED after close");
-        prop_assert!(c.len() <= c.params().index_entries);
+        assert_eq!(s.total_gets as usize, accesses.len());
+        assert_eq!(c.cached_entries(), c.len(), "all entries CACHED after close");
+        assert!(c.len() <= c.params().index_entries);
         c.invalidate();
-        prop_assert!(c.is_empty());
-        prop_assert_eq!(c.free_bytes(), c.params().storage_bytes);
-    }
+        assert!(c.is_empty());
+        assert_eq!(c.free_bytes(), c.params().storage_bytes);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The native block cache is equally transparent: block-cached reads
-    /// equal plain reads under arbitrary patterns and block sizes.
-    #[test]
-    fn blockcache_reads_equal_plain_reads(
-        accesses in arb_accesses(1024, 200),
-        block_pow in 5u32..10, // 32..512 B blocks
-        mem_kb in 1usize..8,
-    ) {
+/// The native block cache is equally transparent: block-cached reads equal
+/// plain reads under arbitrary patterns and block sizes.
+#[test]
+fn blockcache_reads_equal_plain_reads() {
+    check("block-cached reads equal plain reads", 24, |g| {
         use clampi_repro::clampi::{BlockCacheConfig, BlockCachedWindow};
         const WIN: usize = 1024;
+        let accesses = arb_accesses(g, WIN, 200);
+        let block_pow = g.range(5..10u32); // 32..512 B blocks
+        let mem_kb = g.range(1..8usize);
         let cfg = BlockCacheConfig {
             block_size: 1 << block_pow,
             memory_bytes: mem_kb << 10,
@@ -272,17 +271,20 @@ proptest! {
             p.barrier();
             bad
         });
-        prop_assert_eq!(out[0].1, None, "block-cached read diverged");
-    }
+        assert_eq!(out[0].1, None, "block-cached read diverged");
+    });
+}
 
-    /// Trace replay is deterministic and its classification partitions the
-    /// gets for arbitrary traces.
-    #[test]
-    fn trace_replay_partitions_and_is_deterministic(
-        events in proptest::collection::vec((0u8..10, 0u64..64, 1u32..600), 1..150),
-        params in arb_params(),
-    ) {
+/// Trace replay is deterministic and its classification partitions the
+/// gets for arbitrary traces.
+#[test]
+fn trace_replay_partitions_and_is_deterministic() {
+    check("trace replay deterministic", 24, |g| {
         use clampi_repro::clampi::trace::{replay, ReplayCosts, Trace};
+        let events = g.vec(1..150usize, |g| {
+            (g.range(0..10u32) as u8, g.range(0..64u64), g.range(1..600u32))
+        });
+        let params = arb_params(g);
         let mut t = Trace::new();
         for (kind, d, size) in events {
             match kind {
@@ -293,13 +295,13 @@ proptest! {
         }
         let a = replay(&t, params.clone(), ReplayCosts::default());
         let b = replay(&t, params, ReplayCosts::default());
-        prop_assert_eq!(a.stats, b.stats);
-        prop_assert_eq!(a.completion_ns, b.completion_ns);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.completion_ns, b.completion_ns);
         let s = a.stats;
-        prop_assert_eq!(
+        assert_eq!(
             s.total_gets,
             s.hits + s.direct + s.conflicting + s.capacity + s.failed
         );
-        prop_assert_eq!(s.total_gets as usize, t.num_gets());
-    }
+        assert_eq!(s.total_gets as usize, t.num_gets());
+    });
 }
