@@ -129,7 +129,14 @@ impl AnyWindow {
                 class
             }
             AnyWindow::Native(w) => {
-                w.get(p, dst, target, disp, &clampi_datatype::Datatype::bytes(dst.len()), 1);
+                w.get(
+                    p,
+                    dst,
+                    target,
+                    disp,
+                    &clampi_datatype::Datatype::bytes(dst.len()),
+                    1,
+                );
                 None
             }
         }

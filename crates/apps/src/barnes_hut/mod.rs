@@ -260,7 +260,9 @@ mod tests {
             CacheParams::default(),
         )));
         let a = run_collect(SimConfig::default(), 3, |p| force_phase(p, &bodies, &fompi));
-        let b = run_collect(SimConfig::default(), 3, |p| force_phase(p, &bodies, &cached));
+        let b = run_collect(SimConfig::default(), 3, |p| {
+            force_phase(p, &bodies, &cached)
+        });
         let ra: Vec<BhResult> = a.into_iter().map(|(_, r)| r).collect();
         let rb: Vec<BhResult> = b.into_iter().map(|(_, r)| r).collect();
         assert!((total_checksum(&ra) - total_checksum(&rb)).abs() < 1e-12);
@@ -279,7 +281,9 @@ mod tests {
             },
         )));
         let a = run_collect(SimConfig::default(), 4, |p| force_phase(p, &bodies, &fompi));
-        let b = run_collect(SimConfig::default(), 4, |p| force_phase(p, &bodies, &cached));
+        let b = run_collect(SimConfig::default(), 4, |p| {
+            force_phase(p, &bodies, &cached)
+        });
         let t_fompi: f64 = a.iter().map(|(_, r)| r.force_time_ns).fold(0.0, f64::max);
         let t_clampi: f64 = b.iter().map(|(_, r)| r.force_time_ns).fold(0.0, f64::max);
         assert!(
@@ -300,7 +304,9 @@ mod tests {
         let fompi = BhConfig::with_backend(Backend::Fompi);
         let native = BhConfig::with_backend(Backend::Native(clampi::BlockCacheConfig::default()));
         let a = run_collect(SimConfig::default(), 2, |p| force_phase(p, &bodies, &fompi));
-        let b = run_collect(SimConfig::default(), 2, |p| force_phase(p, &bodies, &native));
+        let b = run_collect(SimConfig::default(), 2, |p| {
+            force_phase(p, &bodies, &native)
+        });
         let ra: Vec<BhResult> = a.into_iter().map(|(_, r)| r).collect();
         let rb: Vec<BhResult> = b.into_iter().map(|(_, r)| r).collect();
         assert!((total_checksum(&ra) - total_checksum(&rb)).abs() < 1e-12);

@@ -50,7 +50,13 @@ impl OctNode {
     pub fn encode(&self) -> [u8; NODE_BYTES] {
         let mut out = [0u8; NODE_BYTES];
         let mut o = 0;
-        for v in [self.com[0], self.com[1], self.com[2], self.mass, self.half_width] {
+        for v in [
+            self.com[0],
+            self.com[1],
+            self.com[2],
+            self.mass,
+            self.half_width,
+        ] {
             out[o..o + 8].copy_from_slice(&v.to_le_bytes());
             o += 8;
         }
@@ -147,8 +153,7 @@ impl Octree {
     ) {
         let mut cur = 0usize;
         loop {
-            if slot[cur] == usize::MAX && self.nodes[cur].is_leaf() && self.nodes[cur].mass == 0.0
-            {
+            if slot[cur] == usize::MAX && self.nodes[cur].is_leaf() && self.nodes[cur].mass == 0.0 {
                 // Fresh empty cell: place the body here.
                 slot[cur] = bi;
                 self.nodes[cur].com = body.pos;
@@ -174,8 +179,7 @@ impl Octree {
                 // Fall through: `cur` is now internal; continue descending.
             }
             cur = self.descend_or_create(cur, &body.pos, centers, slot);
-            if slot[cur] == usize::MAX && self.nodes[cur].is_leaf() && self.nodes[cur].mass == 0.0
-            {
+            if slot[cur] == usize::MAX && self.nodes[cur].is_leaf() && self.nodes[cur].mass == 0.0 {
                 slot[cur] = bi;
                 self.nodes[cur].com = body.pos;
                 self.nodes[cur].mass = body.mass;
@@ -364,7 +368,10 @@ mod tests {
         for i in (0..bodies.len()).step_by(37) {
             let (f_bh, _) = tree.force_on(&bodies[i], 0.3, eps);
             let f_d = direct_force(&bodies, i, eps);
-            let num: f64 = (0..3).map(|d| (f_bh[d] - f_d[d]).powi(2)).sum::<f64>().sqrt();
+            let num: f64 = (0..3)
+                .map(|d| (f_bh[d] - f_d[d]).powi(2))
+                .sum::<f64>()
+                .sqrt();
             let den: f64 = f_d.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
             rel_err_sum += num / den;
         }
@@ -429,7 +436,11 @@ mod tests {
         ];
         let tree = Octree::build(&bodies);
         assert!(tree.len() >= 3, "root + two leaves, got {}", tree.len());
-        let leaves = tree.nodes.iter().filter(|n| n.is_leaf() && n.mass > 0.0).count();
+        let leaves = tree
+            .nodes
+            .iter()
+            .filter(|n| n.is_leaf() && n.mass > 0.0)
+            .count();
         assert_eq!(leaves, 2);
     }
 

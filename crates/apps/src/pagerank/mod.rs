@@ -148,8 +148,7 @@ pub fn pagerank(p: &mut Process, graph: &Csr, cfg: &PrConfig) -> PrResult {
         {
             let mut m = win.local_mut();
             for (i, &v) in next.iter().enumerate() {
-                m[write_base + i * 8..write_base + (i + 1) * 8]
-                    .copy_from_slice(&v.to_le_bytes());
+                m[write_base + i * 8..write_base + (i + 1) * 8].copy_from_slice(&v.to_le_bytes());
             }
         }
         pr_local = next;
@@ -188,7 +187,10 @@ mod tests {
     }
 
     fn max_err(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]

@@ -18,10 +18,7 @@ use clampi_bench::timer::Bench;
 use clampi_datatype::Datatype;
 
 fn key(d: u64) -> GetKey {
-    GetKey {
-        target: 1,
-        disp: d,
-    }
+    GetKey { target: 1, disp: d }
 }
 
 fn bench_cuckoo() {
@@ -32,7 +29,10 @@ fn bench_cuckoo() {
         let n = cap * 4 / 5;
         let mut inserted = Vec::new();
         for d in 0..n as u64 {
-            if matches!(ix.insert(key(d * 64), d as u32), InsertOutcome::Placed { .. }) {
+            if matches!(
+                ix.insert(key(d * 64), d as u32),
+                InsertOutcome::Placed { .. }
+            ) {
                 inserted.push(d * 64);
             }
         }

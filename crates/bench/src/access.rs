@@ -127,7 +127,13 @@ pub struct Measured {
 ///
 /// Only samples whose observed class matches the forced kind are returned
 /// (the scenarios are deterministic, so normally all of them).
-pub fn measure(kind: Forced, size: usize, reps: usize, compute_ns: f64, _seed: u64) -> Vec<Measured> {
+pub fn measure(
+    kind: Forced,
+    size: usize,
+    reps: usize,
+    compute_ns: f64,
+    _seed: u64,
+) -> Vec<Measured> {
     let out = run_collect(SimConfig::bench(), 2, |p| {
         // Target exposes prefill + measurement regions.
         let span = (PREFILL + reps + 2) * size.max(1);

@@ -54,7 +54,12 @@ fn main() {
             seed,
             sample_every: (z / 100).max(1),
         });
-        let avg_free = mean(&r.free_trace.iter().map(|&(_, f)| f as f64).collect::<Vec<_>>());
+        let avg_free = mean(
+            &r.free_trace
+                .iter()
+                .map(|&(_, f)| f as f64)
+                .collect::<Vec<_>>(),
+        );
         row(&[
             scheme.label().to_string(),
             format!("{:.3}", r.completion_ns / 1e6),

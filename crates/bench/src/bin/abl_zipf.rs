@@ -26,7 +26,11 @@ fn run_kv(
     seed: u64,
 ) -> Outcome {
     let out = run_collect(SimConfig::bench(), 2, |p| {
-        let my = if p.rank() == 1 { population * value_size } else { 8 };
+        let my = if p.rank() == 1 {
+            population * value_size
+        } else {
+            8
+        };
         let mut win = AnyWindow::create(p, my, &backend);
         p.barrier();
         let mut res = None;

@@ -23,7 +23,9 @@ fn main() {
     let mut cfg = BhConfig::with_backend(Backend::Fompi);
     cfg.trace_gets = true;
 
-    let out = run_collect(SimConfig::bench(), nranks, |p| force_phase(p, &bodies, &cfg));
+    let out = run_collect(SimConfig::bench(), nranks, |p| {
+        force_phase(p, &bodies, &cfg)
+    });
 
     // Repetition count per distinct (initiator, target, node) get.
     let mut reps: HashMap<(usize, usize, usize), u64> = HashMap::new();

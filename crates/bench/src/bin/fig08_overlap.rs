@@ -14,7 +14,12 @@ fn main() {
     let reps: usize = args.get("reps", 24);
     let seed = args.seed();
     let sizes: Vec<usize> = vec![256, 1024, 4096, 16384, 65536];
-    let kinds = [Forced::Fompi, Forced::Direct, Forced::Capacity, Forced::Failing];
+    let kinds = [
+        Forced::Fompi,
+        Forced::Direct,
+        Forced::Capacity,
+        Forced::Failing,
+    ];
 
     meta("Fig. 8: overlappable fraction of communication by data size");
     meta("protocol: c = T_pure of computation inserted between issue and flush");

@@ -58,7 +58,12 @@ fn main() {
         meta(&format!(
             "{}: mean occupancy {:.3}, evictions {}, hits {}",
             scheme.label(),
-            mean(&r.occupancy_trace.iter().map(|&(_, o)| o).collect::<Vec<_>>()),
+            mean(
+                &r.occupancy_trace
+                    .iter()
+                    .map(|&(_, o)| o)
+                    .collect::<Vec<_>>()
+            ),
             r.stats.evictions,
             r.stats.hits
         ));

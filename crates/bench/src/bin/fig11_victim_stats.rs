@@ -59,8 +59,12 @@ fn main() {
                 seed,
                 sample_every: (z / 200).max(1),
             });
-            let avg_free =
-                mean(&r.free_trace.iter().map(|&(_, f)| f as f64).collect::<Vec<_>>());
+            let avg_free = mean(
+                &r.free_trace
+                    .iter()
+                    .map(|&(_, f)| f as f64)
+                    .collect::<Vec<_>>(),
+            );
             row(&[
                 iw.to_string(),
                 scheme.label().to_string(),

@@ -46,7 +46,10 @@ fn main() {
                 "fixed",
                 ClampiConfig::fixed(Mode::UserDefined, params.clone()),
             ),
-            ("adaptive", ClampiConfig::adaptive(Mode::UserDefined, params.clone())),
+            (
+                "adaptive",
+                ClampiConfig::adaptive(Mode::UserDefined, params.clone()),
+            ),
         ] {
             let bh = BhConfig::with_backend(Backend::Clampi(cfg));
             let out = run_collect(SimConfig::bench(), nranks, |p| force_phase(p, &bodies, &bh));

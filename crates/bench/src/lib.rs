@@ -24,3 +24,4 @@ pub mod timer;
 pub use cli::Args;
 pub use micro::{run_micro, MicroRunConfig, MicroRunResult};
 pub use summary::{mean, median};
+pub use timer::smoke_mode;

@@ -5,7 +5,7 @@
 use clampi::CacheStats;
 use clampi_apps::{AnyWindow, Backend};
 use clampi_rma::{run_collect, SimConfig};
-use clampi_workloads::{MicroWorkload, micro::MicroParams};
+use clampi_workloads::{micro::MicroParams, MicroWorkload};
 
 /// Driver configuration.
 #[derive(Debug, Clone)]

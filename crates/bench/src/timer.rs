@@ -49,10 +49,26 @@ pub struct Stats {
     pub samples: usize,
 }
 
+/// Whether smoke mode is on (`CLAMPI_BENCH_SMOKE` set to anything but
+/// `0`): CI's bench-smoke stage uses it to shrink every benchmark's
+/// budget to a fast sanity pass — same code paths, reduced iterations.
+pub fn smoke_mode() -> bool {
+    std::env::var("CLAMPI_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Bench {
     /// A runner for a named group with the default budget (~0.3 s warmup,
-    /// 5 ms samples, 64 samples per benchmark).
+    /// 5 ms samples, 64 samples per benchmark) — or a drastically reduced
+    /// one under [`smoke_mode`].
     pub fn new(group: &str) -> Self {
+        if smoke_mode() {
+            return Bench {
+                group: group.to_string(),
+                warmup: Duration::from_millis(2),
+                sample_target: Duration::from_micros(200),
+                samples: 8,
+            };
+        }
         Bench {
             group: group.to_string(),
             warmup: Duration::from_millis(300),

@@ -181,13 +181,19 @@ impl AdaptiveController {
         };
 
         if delta.conflict_ratio() > p.conflict_threshold {
-            let new = clamp_i(index_entries as f64 * p.index_increase_factor, index_entries);
+            let new = clamp_i(
+                index_entries as f64 * p.index_increase_factor,
+                index_entries,
+            );
             if new != index_entries {
                 return Some(self.apply_index(AdjustRule::GrowIndex, new, storage_bytes));
             }
         }
         if delta.capacity_ratio() > p.capacity_threshold {
-            let new = clamp_s(storage_bytes as f64 * p.memory_increase_factor, storage_bytes);
+            let new = clamp_s(
+                storage_bytes as f64 * p.memory_increase_factor,
+                storage_bytes,
+            );
             if new != storage_bytes {
                 return Some(self.apply_storage(AdjustRule::GrowStorage, index_entries, new));
             }
@@ -197,7 +203,10 @@ impl AdaptiveController {
             && delta.evictions > 0
             && delta.eviction_density() < p.sparsity_threshold
         {
-            let new = clamp_i(index_entries as f64 / p.index_decrease_factor, index_entries);
+            let new = clamp_i(
+                index_entries as f64 / p.index_decrease_factor,
+                index_entries,
+            );
             if new != index_entries {
                 return Some(self.apply_index(AdjustRule::ShrinkIndex, new, storage_bytes));
             }
@@ -215,7 +224,10 @@ impl AdaptiveController {
             && delta.hit_ratio() > p.stable_threshold
             && free_fraction > p.free_fraction_threshold
         {
-            let new = clamp_s(storage_bytes as f64 / p.memory_decrease_factor, storage_bytes);
+            let new = clamp_s(
+                storage_bytes as f64 / p.memory_decrease_factor,
+                storage_bytes,
+            );
             if new != storage_bytes {
                 self.prev_free = None; // resized: free fraction resets
                 return Some(self.apply_storage(AdjustRule::ShrinkStorage, index_entries, new));
@@ -224,7 +236,12 @@ impl AdaptiveController {
         None
     }
 
-    fn apply_index(&mut self, rule: AdjustRule, index_entries: usize, storage_bytes: usize) -> Adjustment {
+    fn apply_index(
+        &mut self,
+        rule: AdjustRule,
+        index_entries: usize,
+        storage_bytes: usize,
+    ) -> Adjustment {
         self.cooldown = true;
         // A grow after a shrink means the size is bracketed: no more shrinks.
         if self.last_index.is_some() && self.last_index != Some(rule) {
@@ -238,7 +255,12 @@ impl AdaptiveController {
         }
     }
 
-    fn apply_storage(&mut self, rule: AdjustRule, index_entries: usize, storage_bytes: usize) -> Adjustment {
+    fn apply_storage(
+        &mut self,
+        rule: AdjustRule,
+        index_entries: usize,
+        storage_bytes: usize,
+    ) -> Adjustment {
         self.cooldown = true;
         if self.last_storage.is_some() && self.last_storage != Some(rule) {
             self.storage_shrink_forbidden = true;
@@ -264,7 +286,13 @@ mod tests {
         })
     }
 
-    fn stats_with(hits: u64, direct: u64, conflicting: u64, capacity: u64, failed: u64) -> CacheStats {
+    fn stats_with(
+        hits: u64,
+        direct: u64,
+        conflicting: u64,
+        capacity: u64,
+        failed: u64,
+    ) -> CacheStats {
         let mut s = CacheStats::default();
         for _ in 0..hits {
             s.record(AccessType::Hit);
@@ -355,7 +383,7 @@ mod tests {
         s.evictions = 10;
         s.visited_slots = 1000;
         s.visited_nonempty = 50; // q = 0.05 < 0.2
-        // capacity ratio = 10/100 = 0.10, not > threshold; sparsity fires.
+                                 // capacity ratio = 10/100 = 0.10, not > threshold; sparsity fires.
         let adj = c.maybe_adjust(&s, 4096, 1 << 20, 0.0).unwrap();
         assert_eq!(adj.rule, AdjustRule::ShrinkIndex);
         assert_eq!(adj.index_entries, 2048);
@@ -414,7 +442,11 @@ mod tests {
         s.visited_nonempty = 50; // q = 0.05: sparsity shrink fires
         let adj = c.maybe_adjust(&s, 4096, 1 << 20, 0.0).unwrap();
         assert_eq!(adj.rule, AdjustRule::ShrinkIndex);
-        assert!(adj.index_entries >= 1, "shrunk to {} slots", adj.index_entries);
+        assert!(
+            adj.index_entries >= 1,
+            "shrunk to {} slots",
+            adj.index_entries
+        );
     }
 
     #[test]
@@ -434,7 +466,11 @@ mod tests {
         }
         let adj = c.maybe_adjust(&s2, 1024, 4 << 20, 0.9).unwrap();
         assert_eq!(adj.rule, AdjustRule::ShrinkStorage);
-        assert!(adj.storage_bytes >= 1, "shrunk to {} bytes", adj.storage_bytes);
+        assert!(
+            adj.storage_bytes >= 1,
+            "shrunk to {} bytes",
+            adj.storage_bytes
+        );
     }
 
     #[test]
@@ -493,11 +529,21 @@ mod prop_tests {
             let mut grows_i = 0usize;
             let mut grows_s = 0usize;
             for (hits, direct, conflicting, capacity, failed, free) in intervals {
-                for _ in 0..hits { stats.record(AccessType::Hit); }
-                for _ in 0..direct { stats.record(AccessType::Direct); }
-                for _ in 0..conflicting { stats.record(AccessType::Conflicting); }
-                for _ in 0..capacity { stats.record(AccessType::Capacity); }
-                for _ in 0..failed { stats.record(AccessType::Failed); }
+                for _ in 0..hits {
+                    stats.record(AccessType::Hit);
+                }
+                for _ in 0..direct {
+                    stats.record(AccessType::Direct);
+                }
+                for _ in 0..conflicting {
+                    stats.record(AccessType::Conflicting);
+                }
+                for _ in 0..capacity {
+                    stats.record(AccessType::Capacity);
+                }
+                for _ in 0..failed {
+                    stats.record(AccessType::Failed);
+                }
                 stats.evictions += capacity;
                 stats.visited_slots += capacity * 16;
                 stats.visited_nonempty += capacity * 4;

@@ -370,10 +370,7 @@ impl RmaCache {
                         (false, 0)
                     }
                 }
-                (LayoutSig::Blocks(have), LayoutSig::Blocks(want))
-                    if have == want => {
-                        (true, size)
-                    }
+                (LayoutSig::Blocks(have), LayoutSig::Blocks(want)) if have == want => (true, size),
                 _ => (false, 0),
             }
         };
@@ -658,8 +655,7 @@ impl RmaCache {
             visited += 1;
             if let Some((_k, eid)) = self.index.slot(pos) {
                 nonempty += 1;
-                let evictable =
-                    Some(eid) != exclude && self.entry(eid).state == EntryState::Cached;
+                let evictable = Some(eid) != exclude && self.entry(eid).state == EntryState::Cached;
                 if evictable {
                     let s = self.entry_score(eid);
                     if best.is_none_or(|(_, _, bs)| s < bs) {
@@ -987,8 +983,7 @@ mod tests {
         );
         assert!(c.len() <= 4);
         // Every resident entry still serves correct data.
-        let resident: Vec<(GetKey, EntryId)> =
-            (0..4).filter_map(|s| c.index.slot(s)).collect();
+        let resident: Vec<(GetKey, EntryId)> = (0..4).filter_map(|s| c.index.slot(s)).collect();
         for (k, _) in resident {
             let mut dst = vec![0u8; 64];
             assert_eq!(
@@ -1129,7 +1124,10 @@ mod tests {
         insert(&mut c, cold, &vec![2u8; 512]);
         c.epoch_close();
         let mut dst = vec![0u8; 512];
-        assert_eq!(c.process_lookup(hot, &LayoutSig::Contig(512), &mut dst), Lookup::Hit);
+        assert_eq!(
+            c.process_lookup(hot, &LayoutSig::Contig(512), &mut dst),
+            Lookup::Hit
+        );
 
         insert(&mut c, key(0, 9000), &vec![3u8; 512]);
         c.epoch_close();

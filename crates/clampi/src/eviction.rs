@@ -165,8 +165,16 @@ mod tests {
         // Entry A: old and adjacent space ~ ags -> very low score (victim).
         // Entry B: recent and badly positioned -> high score (kept).
         let ags = 512.0;
-        let a = score(VictimScheme::Full, positional_score(ags, 512), temporal_score(10, 1000));
-        let b = score(VictimScheme::Full, positional_score(ags, 0), temporal_score(950, 1000));
+        let a = score(
+            VictimScheme::Full,
+            positional_score(ags, 512),
+            temporal_score(10, 1000),
+        );
+        let b = score(
+            VictimScheme::Full,
+            positional_score(ags, 0),
+            temporal_score(950, 1000),
+        );
         assert!(a < b);
     }
 }

@@ -70,9 +70,10 @@ pub mod cache;
 pub mod costs;
 pub mod eviction;
 pub mod index;
+pub mod recovery;
 pub mod stats;
-pub mod trace;
 pub mod storage;
+pub mod trace;
 pub mod window;
 
 pub use adaptive::{AdaptiveController, AdaptiveParams, AdjustRule, Adjustment};
@@ -81,6 +82,7 @@ pub use cache::{CacheParams, EntryState, LayoutSig, Lookup, ResizeEvent, RmaCach
 pub use costs::CacheCostModel;
 pub use eviction::VictimScheme;
 pub use index::{CuckooIndex, EntryId, GetKey};
+pub use recovery::RetryPolicy;
 pub use stats::{AccessType, CacheStats};
 pub use trace::{replay, ReplayCosts, ReplayResult, Trace, TraceEvent};
 pub use window::{CachedWindow, ClampiConfig, Mode};

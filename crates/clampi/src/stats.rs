@@ -85,6 +85,17 @@ pub struct CacheStats {
     pub bytes_from_cache: u64,
     /// Payload bytes fetched over the network by `get_c` calls.
     pub bytes_from_network: u64,
+    /// Transient-fault retries issued by the recovery layer (one per
+    /// reissued network operation, not per get).
+    pub retries: u64,
+    /// Operations abandoned because their cumulative virtual-time budget
+    /// ([`crate::RetryPolicy::op_timeout_ns`]) ran out while retrying.
+    pub timeouts: u64,
+    /// Gets served in degraded mode (target already marked failed: no
+    /// network traffic, zero-filled payload, classified `Failed`).
+    pub degraded_gets: u64,
+    /// Cache entries dropped because their target rank was marked failed.
+    pub invalidations_on_failure: u64,
 }
 
 impl CacheStats {
@@ -159,7 +170,36 @@ impl CacheStats {
             adjustments: self.adjustments - earlier.adjustments,
             bytes_from_cache: self.bytes_from_cache - earlier.bytes_from_cache,
             bytes_from_network: self.bytes_from_network - earlier.bytes_from_network,
+            retries: self.retries - earlier.retries,
+            timeouts: self.timeouts - earlier.timeouts,
+            degraded_gets: self.degraded_gets - earlier.degraded_gets,
+            invalidations_on_failure: self.invalidations_on_failure
+                - earlier.invalidations_on_failure,
         }
+    }
+
+    /// Fieldwise sum of counters (self += other). Used to merge the
+    /// recovery layer's fault counters — kept outside the cache engine so
+    /// they exist even in [`crate::Mode::Disabled`] — into one report.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.total_gets += other.total_gets;
+        self.hits += other.hits;
+        self.partial_hits += other.partial_hits;
+        self.direct += other.direct;
+        self.conflicting += other.conflicting;
+        self.capacity += other.capacity;
+        self.failed += other.failed;
+        self.evictions += other.evictions;
+        self.visited_slots += other.visited_slots;
+        self.visited_nonempty += other.visited_nonempty;
+        self.invalidations += other.invalidations;
+        self.adjustments += other.adjustments;
+        self.bytes_from_cache += other.bytes_from_cache;
+        self.bytes_from_network += other.bytes_from_network;
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.degraded_gets += other.degraded_gets;
+        self.invalidations_on_failure += other.invalidations_on_failure;
     }
 }
 

@@ -352,8 +352,15 @@ mod tests {
     #[test]
     fn removal_with_two_children() {
         let mut t = FreeTree::new();
-        for (len, off) in [(50, 0), (30, 100), (70, 200), (20, 300), (40, 400), (60, 500), (80, 600)]
-        {
+        for (len, off) in [
+            (50, 0),
+            (30, 100),
+            (70, 200),
+            (20, 300),
+            (40, 400),
+            (60, 500),
+            (80, 600),
+        ] {
             t.insert(len, off, len as u32);
         }
         assert_eq!(t.remove(50, 0), Some(50)); // root with two children

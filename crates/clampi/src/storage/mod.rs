@@ -125,7 +125,10 @@ impl Storage {
             f.offset = foff + want;
             f.len = flen - want;
             self.tree.insert(flen - want, foff + want, fdesc);
-            Some(self.descs.insert_before(fdesc, foff, want, DescKind::Entry(entry)))
+            Some(
+                self.descs
+                    .insert_before(fdesc, foff, want, DescKind::Entry(entry)),
+            )
         }
     }
 

@@ -186,8 +186,7 @@ impl Trace {
     /// `io::ErrorKind::InvalidData`.
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
         let data = std::fs::read(path)?;
-        Self::from_bytes(&data)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_bytes(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -233,10 +232,7 @@ pub fn replay(trace: &Trace, params: CacheParams, costs: ReplayCosts) -> ReplayR
                 if size == 0 {
                     continue;
                 }
-                let key = GetKey {
-                    target,
-                    disp,
-                };
+                let key = GetKey { target, disp };
                 let sig = LayoutSig::Contig(size);
                 dst.resize(size, 0);
                 match cache.process_lookup(key, &sig, &mut dst) {
@@ -249,8 +245,7 @@ pub fn replay(trace: &Trace, params: CacheParams, costs: ReplayCosts) -> ReplayR
                     }
                     Lookup::Miss => {
                         payload.resize(size, 0);
-                        completion_ns +=
-                            costs.miss_base_ns + size as f64 * costs.miss_per_byte_ns;
+                        completion_ns += costs.miss_base_ns + size as f64 * costs.miss_per_byte_ns;
                         cache.finish_miss(key, sig, &payload);
                     }
                 }

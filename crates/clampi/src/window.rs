@@ -20,11 +20,12 @@
 //! the adaptive controller.
 
 use clampi_datatype::{Block, Datatype, FlatLayout};
-use clampi_rma::{LockKind, Process, Window};
+use clampi_rma::{LockKind, Process, RmaError, Window};
 
 use crate::adaptive::{AdaptiveController, AdaptiveParams};
 use crate::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
 use crate::index::GetKey;
+use crate::recovery::{with_retry, RetryPolicy};
 use crate::stats::CacheStats;
 
 /// Operational mode of a caching-enabled window.
@@ -56,6 +57,10 @@ pub struct ClampiConfig {
     /// writers without a full invalidation. Off by default (the paper
     /// relies purely on epoch semantics).
     pub invalidate_on_put: bool,
+    /// Retry/backoff policy for transient RMA faults (only relevant when
+    /// the simulator injects faults; with faults disabled no retry path
+    /// is ever taken).
+    pub retry: RetryPolicy,
 }
 
 impl ClampiConfig {
@@ -74,6 +79,7 @@ impl ClampiConfig {
             params,
             adaptive: None,
             invalidate_on_put: false,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -84,7 +90,14 @@ impl ClampiConfig {
             params,
             adaptive: Some(AdaptiveParams::default()),
             invalidate_on_put: false,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// The same configuration with a different retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 
@@ -96,6 +109,14 @@ pub struct CachedWindow {
     controller: Option<AdaptiveController>,
     mode: Mode,
     invalidate_on_put: bool,
+    retry: RetryPolicy,
+    /// Targets marked as persistently failed: their cached entries are
+    /// dropped and their gets served degraded (see `crate::recovery`).
+    degraded: Vec<bool>,
+    /// Fault counters (retries, timeouts, degraded gets) kept outside the
+    /// cache engine so they exist even in [`Mode::Disabled`]; merged into
+    /// [`CachedWindow::stats`].
+    fault_stats: CacheStats,
 }
 
 impl CachedWindow {
@@ -113,12 +134,16 @@ impl CachedWindow {
             (Some(_), Some(ap)) => Some(AdaptiveController::new(ap)),
             _ => None,
         };
+        let degraded = vec![false; win.ntargets()];
         CachedWindow {
             win,
             cache,
             controller,
             mode: cfg.mode,
             invalidate_on_put: cfg.invalidate_on_put,
+            retry: cfg.retry,
+            degraded,
+            fault_stats: CacheStats::default(),
         }
     }
 
@@ -139,9 +164,68 @@ impl CachedWindow {
         &mut self.win
     }
 
-    /// Cache statistics (zeroed if caching is disabled).
+    /// Cache statistics (zeroed if caching is disabled), merged with the
+    /// recovery layer's fault counters (`retries`, `timeouts`,
+    /// `degraded_gets`, `invalidations_on_failure`, plus one `Failed`
+    /// classification per degraded or abandoned get).
     pub fn stats(&self) -> CacheStats {
-        self.cache.as_ref().map(|c| *c.stats()).unwrap_or_default()
+        let mut s = self.cache.as_ref().map(|c| *c.stats()).unwrap_or_default();
+        s.merge(&self.fault_stats);
+        s
+    }
+
+    /// The retry policy governing transient-fault recovery.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Whether `target` has been marked persistently failed (all its gets
+    /// are now served degraded, without network traffic).
+    pub fn is_degraded(&self, target: usize) -> bool {
+        self.degraded[target]
+    }
+
+    /// The targets currently marked persistently failed.
+    pub fn degraded_targets(&self) -> Vec<usize> {
+        (0..self.degraded.len())
+            .filter(|&t| self.degraded[t])
+            .collect()
+    }
+
+    /// Marks `target` persistently failed: drops every cached entry keyed
+    /// to it (counted in `invalidations_on_failure`) and routes later
+    /// accesses through the degraded path.
+    fn mark_degraded(&mut self, p: &mut Process, target: usize) {
+        if self.degraded[target] {
+            return;
+        }
+        self.degraded[target] = true;
+        if let Some(cache) = self.cache.as_mut() {
+            let dropped = cache.invalidate_range(target as u32, 0, u64::MAX);
+            self.fault_stats.invalidations_on_failure += dropped as u64;
+            let cost = cache.take_cost();
+            p.clock_mut().charge_cpu(cost);
+        }
+    }
+
+    /// Concludes a get whose fetch was abandoned: degrades the target on
+    /// persistent failure, delivers a deterministic zero-filled payload,
+    /// and classifies the access `Failed` (weak caching: the application
+    /// continues; the classification is observable via
+    /// [`CachedWindow::stats`] and the returned [`crate::AccessType`]).
+    fn fail_get(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        err: RmaError,
+    ) -> crate::AccessType {
+        if matches!(err, RmaError::TargetFailed { .. }) {
+            self.mark_degraded(p, target);
+        }
+        dst.fill(0);
+        self.fault_stats.record(crate::AccessType::Failed);
+        crate::AccessType::Failed
     }
 
     /// The caching engine, if enabled (figure binaries read occupancy,
@@ -188,6 +272,13 @@ impl CachedWindow {
     }
 
     /// [`CachedWindow::get`] with a pre-flattened layout.
+    ///
+    /// Under fault injection this is the recovery entry point: transient
+    /// faults are retried per the window's [`RetryPolicy`]; abandoned and
+    /// degraded gets return [`crate::AccessType::Failed`] with `dst`
+    /// zero-filled instead of panicking (graceful degradation). With
+    /// faults disabled the behaviour — including virtual-time charging —
+    /// is bit-identical to the pre-fault code path.
     pub fn get_flat(
         &mut self,
         p: &mut Process,
@@ -196,44 +287,77 @@ impl CachedWindow {
         disp: usize,
         layout: &FlatLayout,
     ) -> Option<crate::AccessType> {
-        let Some(cache) = self.cache.as_mut() else {
-            self.win.get_flat(p, dst, target, disp, layout);
-            return None;
-        };
+        if self.degraded[target] {
+            // Target already marked dead: serve locally, touch nothing.
+            dst.fill(0);
+            self.fault_stats.degraded_gets += 1;
+            self.fault_stats.record(crate::AccessType::Failed);
+            return Some(crate::AccessType::Failed);
+        }
         let size = layout.total_size();
-        if size == 0 {
-            self.win.get_flat(p, dst, target, disp, layout);
-            return None;
+        if self.cache.is_none() || size == 0 {
+            // Pass-through (disabled mode or zero-size get), still
+            // fault-aware: `None` keeps the bypass contract, `Failed`
+            // reports an abandoned get.
+            let fetched = with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                self.win.try_get_flat(p, dst, target, disp, layout)
+            });
+            return match fetched {
+                Ok(()) => None,
+                Err(e) => Some(self.fail_get(p, dst, target, e)),
+            };
         }
         let key = GetKey {
             target: target as u32,
             disp: disp as u64,
         };
         let sig = LayoutSig::from_layout(layout);
-        let class = match cache.process_lookup(key, &sig, dst) {
-            Lookup::Hit => crate::AccessType::Hit,
-            Lookup::PartialHit { cached_len } => {
-                if cached_len > 0 {
-                    // Contiguous partial hit: fetch only the missing tail.
-                    let tail = FlatLayout::new(vec![Block {
-                        offset: 0,
-                        len: size - cached_len,
-                    }]);
-                    self.win
-                        .get_flat(p, &mut dst[cached_len..], target, disp + cached_len, &tail);
-                } else {
-                    self.win.get_flat(p, dst, target, disp, layout);
+        // Borrow scope: the engine classification runs with the cache
+        // borrowed; abandoned fetches are handled after it is released
+        // (an abandoned miss/partial simply never calls `finish_*` — the
+        // engine allocates entries only in those calls, so no cleanup is
+        // needed).
+        let outcome: Result<crate::AccessType, RmaError> = {
+            let cache = self.cache.as_mut().expect("checked above");
+            let outcome = match cache.process_lookup(key, &sig, dst) {
+                Lookup::Hit => Ok(crate::AccessType::Hit),
+                Lookup::PartialHit { cached_len } => {
+                    let fetched = if cached_len > 0 {
+                        // Contiguous partial hit: fetch only the missing
+                        // tail.
+                        let tail = FlatLayout::new(vec![Block {
+                            offset: 0,
+                            len: size - cached_len,
+                        }]);
+                        with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                            self.win.try_get_flat(
+                                p,
+                                &mut dst[cached_len..],
+                                target,
+                                disp + cached_len,
+                                &tail,
+                            )
+                        })
+                    } else {
+                        with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                            self.win.try_get_flat(p, dst, target, disp, layout)
+                        })
+                    };
+                    fetched.map(|()| cache.finish_partial(key, sig, dst))
                 }
-                cache.finish_partial(key, sig, dst)
-            }
-            Lookup::Miss => {
-                self.win.get_flat(p, dst, target, disp, layout);
-                cache.finish_miss(key, sig, dst)
-            }
+                Lookup::Miss => with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                    self.win.try_get_flat(p, dst, target, disp, layout)
+                })
+                .map(|()| cache.finish_miss(key, sig, dst)),
+            };
+            let cost = cache.take_cost();
+            p.clock_mut().charge_cpu(cost);
+            outcome
         };
-        let cost = cache.take_cost();
-        p.clock_mut().charge_cpu(cost);
-        Some(class)
+        Some(match outcome {
+            Ok(class) => class,
+            Err(e) => self.fail_get(p, dst, target, e),
+        })
     }
 
     /// [`CachedWindow::get`] with a *typed origin*: the payload — served
@@ -294,6 +418,14 @@ impl CachedWindow {
     /// An uncached put (writes invalidate nothing by themselves — MPI's
     /// epoch rules forbid conflicting put/get in one epoch, and the mode
     /// determines when cached data expires).
+    ///
+    /// Under fault injection, transient faults are retried like gets.
+    /// A put towards a target marked persistently failed — or one whose
+    /// retries are exhausted on a dead target — is *discarded* (the data
+    /// has nowhere to go); transient exhaustion also discards the put and
+    /// counts a timeout when the budget ran out. Check
+    /// [`CachedWindow::is_degraded`] when write delivery must be
+    /// confirmed.
     pub fn put(
         &mut self,
         p: &mut Process,
@@ -303,6 +435,9 @@ impl CachedWindow {
         dtype: &Datatype,
         count: usize,
     ) {
+        if self.degraded[target] {
+            return;
+        }
         if self.invalidate_on_put {
             if let Some(cache) = self.cache.as_mut() {
                 let span = dtype.flatten_n(count).span();
@@ -311,7 +446,12 @@ impl CachedWindow {
                 p.clock_mut().charge_cpu(cost);
             }
         }
-        self.win.put(p, src, target, disp, dtype, count);
+        let sent = with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+            self.win.try_put(p, src, target, disp, dtype, count)
+        });
+        if let Err(RmaError::TargetFailed { .. }) = sent {
+            self.mark_degraded(p, target);
+        }
     }
 
     fn on_epoch_close(&mut self, p: &mut Process) {

@@ -45,7 +45,11 @@ fn weak_caching_fails_big_inserts_after_one_eviction() {
     }
     assert_eq!(c.free_bytes(), 0);
     let t = insert(&mut c, key(9999), 512);
-    assert_eq!(t, AccessType::Failed, "one eviction cannot fit 8 entries' worth");
+    assert_eq!(
+        t,
+        AccessType::Failed,
+        "one eviction cannot fit 8 entries' worth"
+    );
     // Exactly one eviction attempt ran (constant overhead guarantee).
     assert_eq!(c.stats().evictions, 1);
 }
@@ -91,8 +95,8 @@ mod invalidate_on_put {
         ClampiConfig {
             mode: Mode::AlwaysCache,
             params: CacheParams::default(),
-            adaptive: None,
             invalidate_on_put: true,
+            ..ClampiConfig::default()
         }
     }
 
@@ -123,7 +127,11 @@ mod invalidate_on_put {
                 assert_ne!(class_a, Some(AccessType::Hit), "stale overlap survived");
                 assert_eq!(&b[8..], &[9u8; 8], "re-fetch missed the put");
                 let class_b = win.get(p, &mut b, 1, 128, &dt, 1);
-                assert_eq!(class_b, Some(AccessType::Hit), "non-overlapping entry dropped");
+                assert_eq!(
+                    class_b,
+                    Some(AccessType::Hit),
+                    "non-overlapping entry dropped"
+                );
                 win.unlock_all(p);
             }
             p.barrier();
@@ -371,18 +379,17 @@ mod config_defaults {
     #[test]
     fn backend_labels_are_stable() {
         use clampi::{AccessType, VictimScheme};
-        for (t, want) in AccessType::ALL.iter().zip([
-            "hit",
-            "direct",
-            "conflicting",
-            "capacity",
-            "failed",
-        ]) {
+        for (t, want) in
+            AccessType::ALL
+                .iter()
+                .zip(["hit", "direct", "conflicting", "capacity", "failed"])
+        {
             assert_eq!(t.label(), want);
         }
-        for (s, want) in VictimScheme::ALL
-            .iter()
-            .zip(["full", "temporal", "positional", "exact-lru"])
+        for (s, want) in
+            VictimScheme::ALL
+                .iter()
+                .zip(["full", "temporal", "positional", "exact-lru"])
         {
             assert_eq!(s.label(), want);
         }

@@ -92,10 +92,7 @@ impl Xoshiro256StarStar {
 
     /// The next 64 uniformly distributed bits.
     pub fn gen_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -116,7 +113,7 @@ impl Xoshiro256StarStar {
         if p >= 1.0 {
             return true;
         }
-        if !(p > 0.0) {
+        if p.is_nan() || p <= 0.0 {
             return false;
         }
         self.gen_f64() < p

@@ -136,9 +136,7 @@ impl Exchange {
                     v.as_ref()
                         .unwrap_or_else(|| panic!("rank {r} missing from collective {seq}"))
                         .downcast_ref::<T>()
-                        .unwrap_or_else(|| {
-                            panic!("type mismatch in collective {seq} at rank {r}")
-                        })
+                        .unwrap_or_else(|| panic!("type mismatch in collective {seq} at rank {r}"))
                         .clone()
                 })
                 .collect()

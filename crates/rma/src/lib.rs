@@ -58,6 +58,7 @@
 
 pub mod clock;
 pub mod collectives;
+pub mod fault;
 pub mod lockmgr;
 pub mod netmodel;
 pub mod process;
@@ -66,6 +67,7 @@ pub mod topology;
 pub mod window;
 
 pub use clock::Clock;
+pub use fault::{FaultConfig, FaultDecision, FaultPlan, RankFailure, RmaError};
 pub use netmodel::{NetModel, TransferCost};
 pub use process::{run, run_collect, OpCounters, Process, RankReport, SimConfig};
 pub use topology::{Distance, Topology};

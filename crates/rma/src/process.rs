@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 use crate::clock::Clock;
 use crate::collectives::{Exchange, ReduceBarrier};
+use crate::fault::{FaultConfig, FaultDecision, FaultPlan};
 use crate::netmodel::NetModel;
 use crate::window::{WinShared, Window};
 
@@ -21,6 +22,10 @@ pub struct SimConfig {
     /// rule the paper's Sec. II relies on). On by default; benchmarks turn
     /// it off to avoid the bookkeeping cost.
     pub check_conflicts: bool,
+    /// `Some` injects faults per the deterministic [`FaultConfig`]
+    /// schedule; `None` (the default) is the fault-free simulator,
+    /// bit-identical to pre-fault-injection behaviour.
+    pub faults: Option<FaultConfig>,
 }
 
 impl SimConfig {
@@ -29,6 +34,7 @@ impl SimConfig {
         SimConfig {
             netmodel: NetModel::default(),
             check_conflicts: true,
+            faults: None,
         }
     }
 
@@ -37,12 +43,19 @@ impl SimConfig {
         SimConfig {
             netmodel: NetModel::default(),
             check_conflicts: false,
+            faults: None,
         }
     }
 
     /// Replaces the cost model.
     pub fn with_netmodel(mut self, m: NetModel) -> Self {
         self.netmodel = m;
+        self
+    }
+
+    /// Enables fault injection with the given schedule.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
         self
     }
 }
@@ -75,6 +88,7 @@ pub struct Process {
     clock: Clock,
     shared: Arc<CommShared>,
     coll_seq: u64,
+    fault_plan: Option<FaultPlan>,
     pub(crate) counters: OpCounters,
 }
 
@@ -125,6 +139,34 @@ impl Process {
         self.counters
     }
 
+    /// This rank's fault schedule, if fault injection is enabled.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Draws the fate of the next data-movement operation towards
+    /// `target` from this rank's fault schedule ([`FaultDecision::None`]
+    /// when fault injection is disabled or the target is this rank —
+    /// local copies cannot fail).
+    pub(crate) fn fault_decision(&mut self, target: usize) -> FaultDecision {
+        match self.fault_plan.as_mut() {
+            Some(plan) if target != self.rank => {
+                let now = self.clock.now();
+                plan.decide(target, now)
+            }
+            _ => FaultDecision::None,
+        }
+    }
+
+    /// The configured dead-target detection cost (0 without faults).
+    pub(crate) fn timeout_detect_ns(&self) -> f64 {
+        self.shared
+            .config
+            .faults
+            .as_ref()
+            .map_or(0.0, |f| f.timeout_detect_ns)
+    }
+
     fn next_seq(&mut self) -> u64 {
         let s = self.coll_seq;
         self.coll_seq += 1;
@@ -169,7 +211,9 @@ impl Process {
 
     /// Allreduce: the maximum of every rank's `f64` contribution.
     pub fn allreduce_max(&mut self, value: f64) -> f64 {
-        self.allgather(value).into_iter().fold(f64::NEG_INFINITY, f64::max)
+        self.allgather(value)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Collectively creates a window exposing `size` bytes on this rank
@@ -256,12 +300,18 @@ where
                     // Apps recurse over octrees; give ranks deep stacks.
                     .stack_size(16 << 20)
                     .spawn_scoped(scope, move || {
+                        let fault_plan = shared
+                            .config
+                            .faults
+                            .as_ref()
+                            .map(|cfg| FaultPlan::new(cfg.clone(), rank));
                         let mut p = Process {
                             rank,
                             nranks,
                             clock: Clock::new(),
                             shared,
                             coll_seq: 0,
+                            fault_plan,
                             counters: OpCounters::default(),
                         };
                         let out = f(&mut p);
@@ -283,8 +333,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clampi_datatype::Datatype;
     use crate::window::LockKind;
+    use clampi_datatype::Datatype;
 
     #[test]
     fn single_rank_runs() {

@@ -22,6 +22,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use clampi_datatype::{Datatype, FlatLayout};
 
+use crate::fault::{FaultDecision, RmaError};
 use crate::process::Process;
 use crate::sync;
 
@@ -215,6 +216,29 @@ impl Window {
         });
     }
 
+    /// Consults the fault schedule for one operation towards `target`.
+    ///
+    /// `Ok(spike)` lets the operation proceed with its wire time
+    /// multiplied by `spike` (1.0 normally). Failures charge their
+    /// detection cost — a NACK round trip for transients, the failure
+    /// detector's timeout for dead targets — and surface as typed errors.
+    fn fault_gate(&self, p: &mut Process, target: usize) -> Result<f64, RmaError> {
+        match p.fault_decision(target) {
+            FaultDecision::None => Ok(1.0),
+            FaultDecision::LatencySpike(f) => Ok(f),
+            FaultDecision::Transient => {
+                let nack = p.netmodel().transfer_cost(self.my_rank, target, 0, 1);
+                p.clock_mut().charge_cpu(nack.cpu_ns + nack.wire_ns);
+                Err(RmaError::Transient { target })
+            }
+            FaultDecision::TargetFailed => {
+                let detect = p.timeout_detect_ns();
+                p.clock_mut().charge_cpu(detect);
+                Err(RmaError::TargetFailed { target })
+            }
+        }
+    }
+
     /// Reads `count` elements of `dtype` from `target`'s region at byte
     /// displacement `disp` into the packed buffer `dst` (MPI_Get with a
     /// contiguous origin type).
@@ -225,8 +249,10 @@ impl Window {
     ///
     /// # Panics
     ///
-    /// Panics if the access exceeds the target region or `dst` has the
-    /// wrong length.
+    /// Panics if the access exceeds the target region, `dst` has the
+    /// wrong length, or fault injection fails the operation (use
+    /// [`Window::try_get`] — or the CLaMPI recovery layer — under
+    /// faults).
     pub fn get(
         &mut self,
         p: &mut Process,
@@ -240,7 +266,28 @@ impl Window {
         self.get_flat(p, dst, target, disp, &layout);
     }
 
+    /// Fallible [`Window::get`]: surfaces injected faults as typed
+    /// [`RmaError`]s instead of panicking. On `Err` no bytes have moved
+    /// and no transfer is outstanding; transient errors may be retried.
+    pub fn try_get(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> Result<(), RmaError> {
+        let layout = dtype.flatten_n(count);
+        self.try_get_flat(p, dst, target, disp, &layout)
+    }
+
     /// [`Window::get`] with a pre-flattened layout (relative to `disp`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or on an injected fault (see
+    /// [`Window::try_get_flat`]).
     pub fn get_flat(
         &mut self,
         p: &mut Process,
@@ -249,12 +296,39 @@ impl Window {
         disp: usize,
         layout: &FlatLayout,
     ) {
+        self.try_get_flat(p, dst, target, disp, layout)
+            .unwrap_or_else(|e| {
+                panic!("unrecovered RMA fault on get: {e} (use try_get or the CLaMPI recovery layer under fault injection)")
+            });
+    }
+
+    /// Fallible [`Window::get_flat`]: surfaces injected faults as typed
+    /// [`RmaError`]s.
+    ///
+    /// On `Err` no bytes have moved, nothing is outstanding on the
+    /// network, and no epoch access has been recorded; only the failure's
+    /// detection cost (NACK round trip or timeout) has been charged to
+    /// the virtual clock. Transient errors may be retried.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on programming errors (out-of-bounds access, wrong
+    /// buffer length) — those are bugs, not injectable faults.
+    pub fn try_get_flat(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        layout: &FlatLayout,
+    ) -> Result<(), RmaError> {
         let span = layout.span();
         assert!(
             disp + span <= self.shared.sizes[target],
             "get out of bounds: disp {disp} + span {span} > window size {} at target {target}",
             self.shared.sizes[target]
         );
+        let spike = self.fault_gate(p, target)?;
         self.record_access(
             p,
             target,
@@ -268,13 +342,17 @@ impl Window {
             let region = sync::read(&self.shared.regions[target]);
             clampi_datatype::pack(&region[disp..disp + span], layout, dst);
         }
-        let cost =
-            p.netmodel()
-                .transfer_cost(self.my_rank, target, layout.total_size(), layout.blocks().len());
+        let cost = p.netmodel().transfer_cost(
+            self.my_rank,
+            target,
+            layout.total_size(),
+            layout.blocks().len(),
+        );
         p.clock_mut().charge_cpu(cost.cpu_ns);
-        p.clock_mut().post_network(target, cost.wire_ns);
+        p.clock_mut().post_network(target, cost.wire_ns * spike);
         p.counters.gets += 1;
         p.counters.bytes_get += layout.total_size() as u64;
+        Ok(())
     }
 
     /// [`Window::get`] with a *typed origin*: the fetched payload is
@@ -361,8 +439,9 @@ impl Window {
     ///
     /// # Panics
     ///
-    /// Panics if the access exceeds the target region or `src` has the
-    /// wrong length.
+    /// Panics if the access exceeds the target region, `src` has the
+    /// wrong length, or fault injection fails the operation (use
+    /// [`Window::try_put`] under faults).
     pub fn put(
         &mut self,
         p: &mut Process,
@@ -372,6 +451,29 @@ impl Window {
         dtype: &Datatype,
         count: usize,
     ) {
+        self.try_put(p, src, target, disp, dtype, count)
+            .unwrap_or_else(|e| {
+                panic!("unrecovered RMA fault on put: {e} (use try_put or the CLaMPI recovery layer under fault injection)")
+            });
+    }
+
+    /// Fallible [`Window::put`]: surfaces injected faults as typed
+    /// [`RmaError`]s instead of panicking.
+    ///
+    /// On `Err` the target region is untouched, nothing is outstanding,
+    /// and no epoch access has been recorded; only the failure's
+    /// detection cost has been charged. Transient errors may be retried
+    /// (put is idempotent, so a duplicate delivery of a retried put is
+    /// harmless).
+    pub fn try_put(
+        &mut self,
+        p: &mut Process,
+        src: &[u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> Result<(), RmaError> {
         let layout = dtype.flatten_n(count);
         let span = layout.span();
         assert!(
@@ -379,6 +481,7 @@ impl Window {
             "put out of bounds: disp {disp} + span {span} > window size {} at target {target}",
             self.shared.sizes[target]
         );
+        let spike = self.fault_gate(p, target)?;
         self.record_access(
             p,
             target,
@@ -399,9 +502,10 @@ impl Window {
             layout.blocks().len(),
         );
         p.clock_mut().charge_cpu(cost.cpu_ns);
-        p.clock_mut().post_network(target, cost.wire_ns);
+        p.clock_mut().post_network(target, cost.wire_ns * spike);
         p.counters.puts += 1;
         p.counters.bytes_put += layout.total_size() as u64;
+        Ok(())
     }
 
     /// Elementwise atomic update of `target`'s region (MPI_Accumulate) with
@@ -434,7 +538,11 @@ impl Window {
             "accumulate out of bounds: disp {disp} + span {span} > window size {} at target {target}",
             self.shared.sizes[target]
         );
-        assert_eq!(src.len(), layout.total_size(), "packed source length mismatch");
+        assert_eq!(
+            src.len(),
+            layout.total_size(),
+            "packed source length mismatch"
+        );
         if op != AccumulateOp::Replace {
             assert_eq!(
                 layout.total_size() % 8,
@@ -634,7 +742,11 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         for &a in accessors {
-            PscwState::signal(&self.shared.pscw.posts, &self.shared.pscw.cv, (self.my_rank, a));
+            PscwState::signal(
+                &self.shared.pscw.posts,
+                &self.shared.pscw.cv,
+                (self.my_rank, a),
+            );
         }
     }
 
@@ -644,7 +756,11 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         for &t in targets {
-            PscwState::consume(&self.shared.pscw.posts, &self.shared.pscw.cv, (t, self.my_rank));
+            PscwState::consume(
+                &self.shared.pscw.posts,
+                &self.shared.pscw.cv,
+                (t, self.my_rank),
+            );
         }
         // All posts have (virtually) arrived: model one remote latency for
         // the slowest post notification.

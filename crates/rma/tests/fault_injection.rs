@@ -1,0 +1,212 @@
+//! Integration tests of the fault-injection layer at the raw RMA level
+//! (no caching involved): typed errors from `try_get`/`try_put`, cost
+//! accounting for failed operations, rank-failure timing, and the
+//! bit-identical-when-inactive guarantee.
+
+use clampi_datatype::Datatype;
+use clampi_rma::{run, run_collect, FaultConfig, RmaError, SimConfig};
+
+/// A fault config with transient rate 1.0 fails every remote op.
+#[test]
+fn transient_fault_surfaces_as_typed_error() {
+    let cfg = SimConfig::checked().with_faults(FaultConfig::transient(1.0, 7));
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut buf = [0u8; 8];
+            let before = p.clock().now();
+            let err = win
+                .try_get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1)
+                .unwrap_err();
+            assert_eq!(err, RmaError::Transient { target: 1 });
+            assert!(err.is_retryable());
+            // The NACK round trip costs virtual time.
+            assert!(p.clock().now() > before, "failed get must charge time");
+            // Nothing outstanding: flush completes trivially.
+            win.flush_all(p);
+            win.unlock_all(p);
+        }
+        p.barrier();
+    });
+}
+
+/// A failed put must leave the target region untouched.
+#[test]
+fn failed_put_moves_no_bytes() {
+    let cfg = SimConfig::checked().with_faults(FaultConfig::transient(1.0, 11));
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        if p.rank() == 1 {
+            win.local_mut().fill(0xAB);
+        }
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let err = win
+                .try_put(p, &[0u8; 8], 1, 0, &Datatype::bytes(8), 1)
+                .unwrap_err();
+            assert_eq!(err, RmaError::Transient { target: 1 });
+            win.flush_all(p);
+            win.unlock_all(p);
+        }
+        p.barrier();
+        if p.rank() == 1 {
+            assert!(win.local_ref().iter().all(|&b| b == 0xAB));
+        }
+        p.barrier();
+    });
+}
+
+/// Local (self-targeted) operations never fault: only remote transfers
+/// traverse the simulated network.
+#[test]
+fn self_ops_are_immune() {
+    let cfg = SimConfig::checked().with_faults(FaultConfig::transient(1.0, 3));
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        win.lock_all(p);
+        let mut buf = [0u8; 8];
+        let rank = p.rank();
+        win.try_get(p, &mut buf, rank, 0, &Datatype::bytes(8), 1)
+            .expect("self get must not fault");
+        win.flush_all(p);
+        win.unlock_all(p);
+        p.barrier();
+    });
+}
+
+/// Rank failures activate exactly at their configured virtual time:
+/// operations before `at_ns` succeed, operations after it fail with
+/// `TargetFailed` (non-retryable).
+#[test]
+fn rank_failure_respects_virtual_time() {
+    let cfg =
+        SimConfig::checked().with_faults(FaultConfig::default().with_rank_failure(1, 5_000_000.0));
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut buf = [0u8; 8];
+            win.try_get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1)
+                .expect("target healthy before at_ns");
+            win.flush_all(p);
+            // Burn virtual CPU time past the failure point.
+            p.clock_mut().charge_cpu(6_000_000.0);
+            let err = win
+                .try_get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1)
+                .unwrap_err();
+            assert_eq!(err, RmaError::TargetFailed { target: 1 });
+            assert!(!err.is_retryable());
+            win.flush_all(p);
+            win.unlock_all(p);
+        }
+        p.barrier();
+    });
+}
+
+/// Latency spikes slow the wire without failing the op: a rate-1.0 spike
+/// schedule with a large factor must produce a strictly larger elapsed
+/// time than the fault-free run, with identical data.
+#[test]
+fn latency_spikes_slow_but_do_not_fail() {
+    let workload = |p: &mut clampi_rma::Process| {
+        let mut win = p.win_allocate(4096);
+        if p.rank() == 1 {
+            win.local_mut()
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, b)| *b = i as u8);
+        }
+        p.barrier();
+        let mut sum = 0u64;
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut buf = [0u8; 256];
+            for i in 0..16 {
+                win.get(p, &mut buf, 1, i * 256, &Datatype::bytes(256), 1);
+                win.flush(p, 1);
+                sum += buf.iter().map(|&b| b as u64).sum::<u64>();
+            }
+            win.unlock_all(p);
+        }
+        p.barrier();
+        sum
+    };
+    let base = run_collect(SimConfig::checked(), 2, workload);
+    let spiky = run_collect(
+        SimConfig::checked().with_faults(FaultConfig::default().with_spikes(1.0, 16.0)),
+        2,
+        workload,
+    );
+    assert_eq!(base[0].1, spiky[0].1, "spikes must not corrupt data");
+    assert!(
+        spiky[0].0.elapsed_ns > base[0].0.elapsed_ns,
+        "spiked run {} must be slower than baseline {}",
+        spiky[0].0.elapsed_ns,
+        base[0].0.elapsed_ns
+    );
+}
+
+/// The acceptance bar for the whole subsystem: a config with all rates
+/// zero must be *bit-identical* in virtual time to `faults: None`.
+#[test]
+fn inactive_faults_are_bit_identical_to_none() {
+    let workload = |p: &mut clampi_rma::Process| {
+        let mut win = p.win_allocate(1024);
+        if p.rank() != 0 {
+            win.local_mut().fill(p.rank() as u8);
+        }
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut buf = [0u8; 64];
+            for t in 1..p.nranks() {
+                for blk in 0..4 {
+                    win.get(p, &mut buf, t, blk * 64, &Datatype::bytes(64), 1);
+                }
+                win.flush(p, t);
+                win.put(p, &buf, t, 512, &Datatype::bytes(64), 1);
+            }
+            win.flush_all(p);
+            win.unlock_all(p);
+        }
+        p.barrier();
+    };
+    let plain = run(SimConfig::checked(), 4, workload);
+    let gated = run(
+        SimConfig::checked().with_faults(FaultConfig::default()),
+        4,
+        workload,
+    );
+    for (a, b) in plain.iter().zip(&gated) {
+        assert_eq!(
+            a.elapsed_ns.to_bits(),
+            b.elapsed_ns.to_bits(),
+            "rank {} diverged with an inactive fault config",
+            a.rank
+        );
+        assert_eq!(a.counters, b.counters);
+    }
+}
+
+/// Infallible `get` panics (not UB, not silent corruption) when a fault
+/// goes unrecovered.
+#[test]
+#[should_panic(expected = "unrecovered RMA fault")]
+fn infallible_get_panics_on_fault() {
+    let cfg = SimConfig::checked().with_faults(FaultConfig::transient(1.0, 9));
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut buf = [0u8; 8];
+            win.get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1);
+        }
+        // Rank 1 simply returns; rank 0's panic is propagated by `run`.
+    });
+}

@@ -285,9 +285,33 @@ mod accumulate {
             p.barrier();
             if p.rank() == 0 {
                 win.lock(p, LockKind::Exclusive, 1);
-                win.accumulate(p, &9.0f64.to_le_bytes(), 1, 0, &Datatype::double(), 1, AccumulateOp::Max);
-                win.accumulate(p, &9.0f64.to_le_bytes(), 1, 8, &Datatype::double(), 1, AccumulateOp::Min);
-                win.accumulate(p, &9.0f64.to_le_bytes(), 1, 16, &Datatype::double(), 1, AccumulateOp::Replace);
+                win.accumulate(
+                    p,
+                    &9.0f64.to_le_bytes(),
+                    1,
+                    0,
+                    &Datatype::double(),
+                    1,
+                    AccumulateOp::Max,
+                );
+                win.accumulate(
+                    p,
+                    &9.0f64.to_le_bytes(),
+                    1,
+                    8,
+                    &Datatype::double(),
+                    1,
+                    AccumulateOp::Min,
+                );
+                win.accumulate(
+                    p,
+                    &9.0f64.to_le_bytes(),
+                    1,
+                    16,
+                    &Datatype::double(),
+                    1,
+                    AccumulateOp::Replace,
+                );
                 win.unlock(p, 1);
             }
             p.barrier();
@@ -405,7 +429,14 @@ mod atomics {
                 win.get(p, &mut b, 0, 8, &clampi_datatype::Datatype::bytes(8), 1);
                 win.flush(p, 0);
                 let v = u64::from_le_bytes(b) + 1;
-                win.put(p, &v.to_le_bytes(), 0, 8, &clampi_datatype::Datatype::bytes(8), 1);
+                win.put(
+                    p,
+                    &v.to_le_bytes(),
+                    0,
+                    8,
+                    &clampi_datatype::Datatype::bytes(8),
+                    1,
+                );
                 win.flush(p, 0);
                 let released = win.compare_and_swap(p, 0, 0, 1 + p.rank() as u64, 0);
                 assert_eq!(released, 1 + p.rank() as u64, "lost the lock mid-section");
@@ -459,7 +490,13 @@ mod typed_origin {
                 let mut dst = vec![0xEE; 16];
                 win.get_typed(p, &mut dst, &origin, 1, 1, 8, &Datatype::bytes(8), 1);
                 win.flush(p, 1);
-                assert_eq!(dst, vec![8, 9, 0xEE, 0xEE, 10, 11, 0xEE, 0xEE, 12, 13, 0xEE, 0xEE, 14, 15, 0xEE, 0xEE]);
+                assert_eq!(
+                    dst,
+                    vec![
+                        8, 9, 0xEE, 0xEE, 10, 11, 0xEE, 0xEE, 12, 13, 0xEE, 0xEE, 14, 15, 0xEE,
+                        0xEE
+                    ]
+                );
                 win.unlock_all(p);
             }
             p.barrier();
@@ -473,7 +510,16 @@ mod typed_origin {
             let mut win = p.win_allocate(64);
             win.lock_all(p);
             let mut dst = vec![0u8; 4];
-            win.get_typed(p, &mut dst, &Datatype::bytes(4), 1, 0, 0, &Datatype::bytes(8), 1);
+            win.get_typed(
+                p,
+                &mut dst,
+                &Datatype::bytes(4),
+                1,
+                0,
+                0,
+                &Datatype::bytes(8),
+                1,
+            );
         });
     }
 }

@@ -187,10 +187,7 @@ mod tests {
 
     #[test]
     fn lcc_of_triangle_is_one() {
-        let g = Csr::from_edges(
-            3,
-            vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)],
-        );
+        let g = Csr::from_edges(3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]);
         for v in 0..3 {
             assert_eq!(g.lcc(v), 1.0);
         }

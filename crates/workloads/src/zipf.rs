@@ -28,7 +28,10 @@ impl Zipf {
     /// Panics if `population == 0` or `s` is not finite.
     pub fn new(population: usize, s: f64, seed: u64) -> Self {
         assert!(population > 0, "need at least one key");
-        assert!(s.is_finite() && s >= 0.0, "exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(population);
         let mut acc = 0.0;
         for k in 1..=population {

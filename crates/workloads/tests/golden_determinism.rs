@@ -71,7 +71,11 @@ fn plummer_bodies_are_pinned() {
     for (i, (body, want)) in bodies.iter().zip(golden_pos).enumerate() {
         assert_eq!(body.pos.map(f64::to_bits), want, "body {i} position");
         // Equal masses summing to 1: each is exactly 1/6.
-        assert_eq!(body.mass.to_bits(), (1.0f64 / 6.0).to_bits(), "body {i} mass");
+        assert_eq!(
+            body.mass.to_bits(),
+            (1.0f64 / 6.0).to_bits(),
+            "body {i} mass"
+        );
     }
 }
 

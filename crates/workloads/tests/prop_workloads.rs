@@ -27,7 +27,11 @@ fn rmat_always_simple_symmetric() {
             }
         }
         assert_eq!(directed_edges, graph.num_edges());
-        assert_eq!(directed_edges % 2, 0, "undirected graph needs even directed count");
+        assert_eq!(
+            directed_edges % 2,
+            0,
+            "undirected graph needs even directed count"
+        );
     });
 }
 
@@ -55,7 +59,11 @@ fn micro_workload_well_formed() {
         let max_exp = g.range(0..14u32);
         let seed = g.u64();
         let w = MicroWorkload::generate(
-            MicroParams { distinct: n, sequence_len: n + extra, max_exp },
+            MicroParams {
+                distinct: n,
+                sequence_len: n + extra,
+                max_exp,
+            },
             seed,
         );
         assert_eq!(w.distinct.len(), n);

@@ -76,7 +76,11 @@ fn main() {
     println!("start: |Iw| = 128 entries (too small), |Sw| = 64 MiB (too big)\n");
 
     let adaptive = run_collect(SimConfig::default(), 2, |p| {
-        replay(p, ClampiConfig::adaptive(Mode::AlwaysCache, start.clone()), &wl)
+        replay(
+            p,
+            ClampiConfig::adaptive(Mode::AlwaysCache, start.clone()),
+            &wl,
+        )
     });
     let (t_adaptive, log) = &adaptive[0].1;
     println!("adaptive adjustments:");
@@ -85,7 +89,11 @@ fn main() {
     }
 
     let fixed = run_collect(SimConfig::default(), 2, |p| {
-        replay(p, ClampiConfig::fixed(Mode::AlwaysCache, start.clone()), &wl)
+        replay(
+            p,
+            ClampiConfig::fixed(Mode::AlwaysCache, start.clone()),
+            &wl,
+        )
     });
     let (t_fixed, _) = &fixed[0].1;
 

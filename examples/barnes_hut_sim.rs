@@ -53,7 +53,9 @@ fn main() {
         let mut checksum = 0.0;
         let mut hit_ratio = 0.0;
         for step in 0..steps {
-            let out = run_collect(SimConfig::bench(), nranks, |p| force_phase(p, &bodies, &cfg));
+            let out = run_collect(SimConfig::bench(), nranks, |p| {
+                force_phase(p, &bodies, &cfg)
+            });
             total_us_per_body += out
                 .iter()
                 .map(|(_, r)| r.time_per_body_us())

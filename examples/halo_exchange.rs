@@ -151,10 +151,10 @@ fn distributed(
     for _ in 0..iters {
         // Fetch the halo rows: u fresh, k through the cache.
         let fetch = |p: &mut Process,
-                         u_win: &mut clampi_repro::clampi_rma::Window,
-                         k_win: &mut CachedWindow,
-                         buf: &mut Vec<u8>,
-                         grow: usize|
+                     u_win: &mut clampi_repro::clampi_rma::Window,
+                     k_win: &mut CachedWindow,
+                     buf: &mut Vec<u8>,
+                     grow: usize|
          -> (Vec<f64>, Vec<f64>) {
             let owner = grow / per;
             let disp = (grow - owner * per) * row_bytes;

@@ -20,7 +20,9 @@ fn main() {
     let mut cfg = BhConfig::with_backend(Backend::Fompi);
     cfg.trace_gets = true;
     let nranks = 4;
-    let out = run_collect(SimConfig::bench(), nranks, |p| force_phase(p, &bodies, &cfg));
+    let out = run_collect(SimConfig::bench(), nranks, |p| {
+        force_phase(p, &bodies, &cfg)
+    });
 
     // 2. Convert rank 0's fetch log into a Trace. Every fetch in the
     //    traversal is consumed immediately, so each get closes an epoch.
@@ -77,5 +79,8 @@ fn main() {
         }
     }
     let (t, label) = best.unwrap();
-    println!("\nbest configuration for this workload: {label} ({:.3} ms)", t / 1e6);
+    println!(
+        "\nbest configuration for this workload: {label} ({:.3} ms)",
+        t / 1e6
+    );
 }

@@ -13,7 +13,10 @@ fn backends() -> Vec<Backend> {
     vec![
         Backend::Fompi,
         Backend::Native(BlockCacheConfig::default()),
-        Backend::Clampi(ClampiConfig::fixed(Mode::UserDefined, CacheParams::default())),
+        Backend::Clampi(ClampiConfig::fixed(
+            Mode::UserDefined,
+            CacheParams::default(),
+        )),
         Backend::Clampi(ClampiConfig::adaptive(
             Mode::UserDefined,
             CacheParams {

@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: CLaMPI's consistency semantics over the
 //! RMA simulator (the paper's Sec. II/III-A contract).
 
-use clampi_repro::clampi::{
-    AccessType, CacheParams, CachedWindow, ClampiConfig, Mode,
-};
+use clampi_repro::clampi::{AccessType, CacheParams, CachedWindow, ClampiConfig, Mode};
 use clampi_repro::clampi_datatype::Datatype;
 use clampi_repro::clampi_rma::{run, run_collect, LockKind, SimConfig};
 
@@ -216,7 +214,10 @@ fn adaptive_run_is_deterministic() {
     };
     let a = run_once();
     let b = run_once();
-    assert_eq!(a[0].1 .0, b[0].1 .0, "stats diverged between identical runs");
+    assert_eq!(
+        a[0].1 .0, b[0].1 .0,
+        "stats diverged between identical runs"
+    );
     assert_eq!(a[0].1 .1, b[0].1 .1, "virtual time diverged");
 }
 

@@ -8,7 +8,9 @@
 use clampi_repro::clampi::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
 use clampi_repro::clampi::index::{CuckooIndex, GetKey, InsertOutcome};
 use clampi_repro::clampi::storage::Storage;
-use clampi_repro::clampi::{AccessType, CacheCostModel, CachedWindow, ClampiConfig, Mode, VictimScheme};
+use clampi_repro::clampi::{
+    AccessType, CacheCostModel, CachedWindow, ClampiConfig, Mode, VictimScheme,
+};
 use clampi_repro::clampi_datatype::Datatype;
 use clampi_repro::clampi_prng::prop::{check, Gen};
 use clampi_repro::clampi_rma::{run_collect, SimConfig};
@@ -39,7 +41,7 @@ fn arb_params(g: &mut Gen) -> CacheParams {
         _ => VictimScheme::Positional,
     };
     CacheParams {
-        index_entries: g.range(1..256usize), // tiny -> conflicts
+        index_entries: g.range(1..256usize),      // tiny -> conflicts
         storage_bytes: g.range(256..32_768usize), // tiny -> capacity/failing
         victim_scheme,
         seed: g.u64(),
@@ -120,7 +122,9 @@ fn cuckoo_matches_hashmap() {
                         InsertOutcome::Placed { .. } => {
                             model.insert(d, next_id);
                         }
-                        InsertOutcome::Cycle { homeless: (hk, he), .. } => {
+                        InsertOutcome::Cycle {
+                            homeless: (hk, he), ..
+                        } => {
                             // Everyone but the homeless pair is resident.
                             model.insert(d, next_id);
                             model.remove(&hk.disp);
@@ -195,7 +199,10 @@ fn engine_accounting_is_coherent() {
         let params = arb_params(g);
         let mut c = RmaCache::new(params);
         for (k, a) in accesses.iter().enumerate() {
-            let key = GetKey { target: 9, disp: a.disp as u64 };
+            let key = GetKey {
+                target: 9,
+                disp: a.disp as u64,
+            };
             let sig = LayoutSig::Contig(a.len);
             let data = vec![0xAB; a.len];
             let mut dst = vec![0u8; a.len];
@@ -220,7 +227,11 @@ fn engine_accounting_is_coherent() {
             "classification must partition the gets"
         );
         assert_eq!(s.total_gets as usize, accesses.len());
-        assert_eq!(c.cached_entries(), c.len(), "all entries CACHED after close");
+        assert_eq!(
+            c.cached_entries(),
+            c.len(),
+            "all entries CACHED after close"
+        );
         assert!(c.len() <= c.params().index_entries);
         c.invalidate();
         assert!(c.is_empty());
@@ -282,7 +293,11 @@ fn trace_replay_partitions_and_is_deterministic() {
     check("trace replay deterministic", 24, |g| {
         use clampi_repro::clampi::trace::{replay, ReplayCosts, Trace};
         let events = g.vec(1..150usize, |g| {
-            (g.range(0..10u32) as u8, g.range(0..64u64), g.range(1..600u32))
+            (
+                g.range(0..10u32) as u8,
+                g.range(0..64u64),
+                g.range(1..600u32),
+            )
         });
         let params = arb_params(g);
         let mut t = Trace::new();
