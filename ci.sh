@@ -16,10 +16,15 @@
 #                 not installed)
 #   build         cargo build --release --offline (workspace)
 #   test          cargo test -q --offline (workspace)
-#   prop-matrix   the four property suites under 3 fixed CLAMPI_PROP_SEED
+#   prop-matrix   the six property suites under 3 fixed CLAMPI_PROP_SEED
 #                 values (single-case replay determinism)
-#   bench-smoke   microcosts + fig_fault_recovery under CLAMPI_BENCH_SMOKE=1,
-#                 writing results/BENCH_smoke.json
+#   bench-smoke   microcosts + fig_fault_recovery + fig08_overlap under
+#                 CLAMPI_BENCH_SMOKE=1, writing results/BENCH_smoke.json
+#                 and the tracked perf summary BENCH_perf.json
+#   perf-gate     warn-only: diffs BENCH_perf.json against the committed
+#                 ci/perf_baseline.json and flags >2x drift on any key
+#                 (the simulator's virtual clocks are deterministic, so
+#                 drift means a real change in modelled cost)
 #
 # This repo builds on machines with no network and no cargo registry
 # cache, so any external crate in a dependency section is a build break
@@ -27,7 +32,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(hermeticity fmt clippy build test prop-matrix bench-smoke)
+ALL_STAGES=(hermeticity fmt clippy build test prop-matrix bench-smoke perf-gate)
 PROP_SEEDS=(1 42 20170527)
 
 # ---------------------------------------------------------------- gate --
@@ -139,7 +144,7 @@ stage_test() {
 }
 
 stage_prop_matrix() {
-    # The four property suites, each replayed as a single case under 3
+    # The six property suites, each replayed as a single case under 3
     # fixed seeds (CLAMPI_PROP_SEED makes the harness run exactly that
     # case). Catches seed-dependent flakiness and keeps the replay knob
     # itself exercised.
@@ -149,6 +154,8 @@ stage_prop_matrix() {
         "clampi-workloads:prop_workloads"
         "clampi-repro:prop_cache_equivalence"
         "clampi:prop_fault"
+        "clampi:prop_index"
+        "clampi:prop_nb_equivalence"
     )
     for seed in "${PROP_SEEDS[@]}"; do
         for suite in "${suites[@]}"; do
@@ -158,7 +165,7 @@ stage_prop_matrix() {
                 > /dev/null
         done
     done
-    echo "4 suites x ${#PROP_SEEDS[@]} seeds replayed"
+    echo "6 suites x ${#PROP_SEEDS[@]} seeds replayed"
 }
 
 stage_bench_smoke() {
@@ -171,6 +178,71 @@ stage_bench_smoke() {
         --bin fig_fault_recovery -- --json results/BENCH_smoke.json
     test -s results/BENCH_smoke.json
     echo "wrote results/BENCH_smoke.json"
+    echo "-- fig08_overlap via run_all (smoke, perf summary)"
+    # run_all locates its sibling binaries next to its own executable, so
+    # the whole bench package must be built first.
+    cargo build -q --offline --release -p clampi-bench
+    CLAMPI_BENCH_SMOKE=1 ./target/release/run_all --only fig08_overlap \
+        --json BENCH_perf.json
+    test -s BENCH_perf.json
+    echo "wrote BENCH_perf.json"
+}
+
+# Prints "name.key value" for every entry of each line's "perf" object.
+extract_perf() {
+    awk '
+        {
+            if (match($0, /"name":"[^"]*"/))
+                name = substr($0, RSTART + 8, RLENGTH - 9)
+            if (match($0, /"perf":\{[^}]*\}/)) {
+                body = substr($0, RSTART + 8, RLENGTH - 9)
+                n = split(body, kv, ",")
+                for (i = 1; i <= n; i++) {
+                    split(kv[i], p, ":")
+                    key = p[1]; gsub(/"/, "", key)
+                    if (key != "") print name "." key, p[2]
+                }
+            }
+        }
+    ' "$1"
+}
+
+stage_perf_gate() {
+    # Warn-only by design: the gate reports drift, it never fails the
+    # build. The perf keys are virtual-clock totals (deterministic), so a
+    # 2x drift means the cost model or the cache policy genuinely changed
+    # — which may well be intentional; refresh the baseline with
+    #   ./ci.sh bench-smoke && cp BENCH_perf.json ci/perf_baseline.json
+    local baseline=ci/perf_baseline.json current=BENCH_perf.json
+    if [ ! -s "$baseline" ]; then
+        echo "no committed baseline ($baseline) - perf-gate SKIPPED" >&2
+        return 77
+    fi
+    if [ ! -s "$current" ]; then
+        echo "no $current (run ./ci.sh bench-smoke first) - perf-gate SKIPPED" >&2
+        return 77
+    fi
+    local warned=0 key base cur
+    while read -r key base; do
+        cur=$(extract_perf "$current" | awk -v k="$key" '$1 == k { print $2 }')
+        if [ -z "$cur" ]; then
+            echo "WARN: $key present in baseline but missing from $current"
+            warned=1
+            continue
+        fi
+        if awk -v c="$cur" -v b="$base" \
+            'BEGIN { exit !(b > 0 && (c > 2.0 * b || c * 2.0 < b)) }'; then
+            echo "WARN: $key drifted >2x: baseline $base, current $cur"
+            warned=1
+        else
+            echo "ok: $key baseline $base, current $cur"
+        fi
+    done < <(extract_perf "$baseline")
+    if [ "$warned" -ne 0 ]; then
+        echo "perf-gate: drift detected (warn-only; refresh ci/perf_baseline.json if intended)"
+    else
+        echo "perf-gate: all keys within 2x of baseline"
+    fi
 }
 
 # -------------------------------------------------------------- runner --

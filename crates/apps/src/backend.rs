@@ -10,10 +10,14 @@ use clampi::{
     AccessType, BlockCacheConfig, BlockCacheStats, BlockCachedWindow, CacheStats, CachedWindow,
     ClampiConfig,
 };
-use clampi_datatype::{Block, FlatLayout};
+use clampi_datatype::Datatype;
 use clampi_rma::{Process, Window};
 
 /// Which layer fronts the window.
+// Constructed once per run to select a configuration; the size skew
+// between variants is irrelevant at that frequency, and boxing would
+// noise up every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum Backend {
     /// Plain RMA (the paper's "foMPI" series).
@@ -111,34 +115,71 @@ impl AnyWindow {
         target: usize,
         disp: usize,
     ) -> Option<AccessType> {
-        let layout = FlatLayout::new(vec![Block {
-            offset: 0,
-            len: dst.len(),
-        }]);
+        // The byte datatype routes every backend through its contiguous
+        // fast path (per-window scratch layout — no per-call allocation).
+        let dtype = Datatype::bytes(dst.len());
         match self {
             AnyWindow::Plain(w) => {
-                w.get_flat(p, dst, target, disp, &layout);
+                w.get(p, dst, target, disp, &dtype, 1);
                 w.flush(p, target);
                 None
             }
             AnyWindow::Clampi(w) => {
-                let class = w.get_flat(p, dst, target, disp, &layout);
+                let class = w.get(p, dst, target, disp, &dtype, 1);
                 if class != Some(AccessType::Hit) {
                     w.flush(p, target);
                 }
                 class
             }
             AnyWindow::Native(w) => {
-                w.get(
-                    p,
-                    dst,
-                    target,
-                    disp,
-                    &clampi_datatype::Datatype::bytes(dst.len()),
-                    1,
-                );
+                w.get(p, dst, target, disp, &dtype, 1);
                 None
             }
+        }
+    }
+
+    /// A *nonblocking* contiguous read of `dst.len()` bytes from
+    /// `target`'s region at `disp`: `dst` holds the data eagerly, but for
+    /// non-`Hit` outcomes it must not be consumed before the next
+    /// [`AnyWindow::flush_batch`] (or any other completion event).
+    ///
+    /// - plain window: nonblocking get, completes at the next flush;
+    /// - CLaMPI: [`CachedWindow::get_nb`] — misses enter the
+    ///   outstanding-miss table (overlapping their wire time, coalescing
+    ///   adjacent ranges) and hits cost no network at all;
+    /// - block cache: no nonblocking path — falls back to the synchronous
+    ///   block fetch, which is already safe to consume.
+    ///
+    /// Returns the CLaMPI access classification when applicable.
+    pub fn get_nb(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+    ) -> Option<AccessType> {
+        let dtype = Datatype::bytes(dst.len());
+        match self {
+            AnyWindow::Plain(w) => {
+                w.iget(p, dst, target, disp, &dtype, 1);
+                None
+            }
+            AnyWindow::Clampi(w) => w.get_nb(p, dst, target, disp, &dtype, 1),
+            AnyWindow::Native(w) => {
+                w.get(p, dst, target, disp, &dtype, 1);
+                None
+            }
+        }
+    }
+
+    /// Completes every get issued through [`AnyWindow::get_nb`] since the
+    /// last completion event (MPI_Win_flush_all). No-op for the block
+    /// cache, whose gets are always synchronous.
+    pub fn flush_batch(&mut self, p: &mut Process) {
+        match self {
+            AnyWindow::Plain(w) => w.flush_all(p),
+            AnyWindow::Clampi(w) => w.flush_all(p),
+            AnyWindow::Native(_) => {}
         }
     }
 

@@ -18,7 +18,7 @@ pub mod octree;
 
 pub use octree::{direct_force, OctNode, Octree, NODE_BYTES, NO_CHILD};
 
-use clampi::CacheStats;
+use clampi::{AccessType, CacheStats};
 use clampi_rma::Process;
 use clampi_workloads::Body;
 
@@ -144,53 +144,80 @@ pub fn force_phase(p: &mut Process, bodies: &[Body], cfg: &BhConfig) -> BhResult
     let mut visited = 0u64;
     let mut remote_fetches = 0u64;
     let mut trace = Vec::new();
-    let mut buf = [0u8; NODE_BYTES];
+    // Per-frontier fetch slots, reused across levels and bodies.
+    let mut fetch_bufs: Vec<[u8; NODE_BYTES]> = Vec::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut next_frontier: Vec<usize> = Vec::new();
     let t0 = p.now();
 
     for body in &bodies[lo..hi] {
         let mut force = [0.0f64; 3];
-        let mut stack = vec![0usize];
-        while let Some(id) = stack.pop() {
-            visited += 1;
-            p.compute(cfg.interaction_ns);
-            let owner = node_owner(id, nranks);
-            let disp = node_disp(id, nranks);
-            let node = if owner == rank {
-                // Locally owned nodes are read through the local pointer,
-                // as in the UPC code (no RMA, no cache).
-                tree.nodes[id]
-            } else {
+        // Level-synchronous descent: the whole frontier's remote records
+        // are fetched as one nonblocking batch (a single completion per
+        // level instead of a flush per node), then the records steer the
+        // next level. Every backend traverses in this order, so their
+        // floating-point sums stay comparable bit-for-bit.
+        frontier.clear();
+        frontier.push(0);
+        while !frontier.is_empty() {
+            if fetch_bufs.len() < frontier.len() {
+                fetch_bufs.resize(frontier.len(), [0u8; NODE_BYTES]);
+            }
+            let mut any_pending = false;
+            for (i, &id) in frontier.iter().enumerate() {
+                let owner = node_owner(id, nranks);
+                if owner == rank {
+                    continue;
+                }
                 remote_fetches += 1;
                 if cfg.trace_gets {
                     trace.push((owner, id));
                 }
-                win.get_sync(p, &mut buf, owner, disp);
-                OctNode::decode(&buf)
-            };
-            if node.mass == 0.0 {
-                continue;
-            }
-            let dx = node.com[0] - body.pos[0];
-            let dy = node.com[1] - body.pos[1];
-            let dz = node.com[2] - body.pos[2];
-            let d2 = dx * dx + dy * dy + dz * dz;
-            let d = d2.sqrt();
-            if !node.is_leaf() && 2.0 * node.half_width > cfg.theta * d {
-                for &c in &node.children {
-                    if c != NO_CHILD {
-                        stack.push(c as usize);
-                    }
+                let class = win.get_nb(p, &mut fetch_bufs[i], owner, node_disp(id, nranks));
+                if class != Some(AccessType::Hit) {
+                    any_pending = true;
                 }
-            } else {
-                if d2 < 1e-24 {
+            }
+            if any_pending {
+                win.flush_batch(p);
+            }
+            next_frontier.clear();
+            for (i, &id) in frontier.iter().enumerate() {
+                visited += 1;
+                p.compute(cfg.interaction_ns);
+                let node = if node_owner(id, nranks) == rank {
+                    // Locally owned nodes are read through the local
+                    // pointer, as in the UPC code (no RMA, no cache).
+                    tree.nodes[id]
+                } else {
+                    OctNode::decode(&fetch_bufs[i])
+                };
+                if node.mass == 0.0 {
                     continue;
                 }
-                let inv = 1.0 / (d2 + cfg.eps * cfg.eps).powf(1.5);
-                let f = body.mass * node.mass * inv;
-                force[0] += f * dx;
-                force[1] += f * dy;
-                force[2] += f * dz;
+                let dx = node.com[0] - body.pos[0];
+                let dy = node.com[1] - body.pos[1];
+                let dz = node.com[2] - body.pos[2];
+                let d2 = dx * dx + dy * dy + dz * dz;
+                let d = d2.sqrt();
+                if !node.is_leaf() && 2.0 * node.half_width > cfg.theta * d {
+                    for &c in &node.children {
+                        if c != NO_CHILD {
+                            next_frontier.push(c as usize);
+                        }
+                    }
+                } else {
+                    if d2 < 1e-24 {
+                        continue;
+                    }
+                    let inv = 1.0 / (d2 + cfg.eps * cfg.eps).powf(1.5);
+                    let f = body.mass * node.mass * inv;
+                    force[0] += f * dx;
+                    force[1] += f * dy;
+                    force[2] += f * dz;
+                }
             }
+            std::mem::swap(&mut frontier, &mut next_frontier);
         }
         checksum += force[0] + force[1] + force[2];
     }

@@ -1,8 +1,19 @@
 //! Runs every figure and ablation binary, teeing each output into
 //! `results/<name>.tsv` — one command to regenerate the whole evaluation.
 //!
-//! Flags are forwarded to every binary (e.g. `--paper`, `--seed 7`).
+//! Harness flags (consumed here, not forwarded):
+//!
+//! - `--only a,b,c` — run only the named binaries;
+//! - `--json <path>` — write a machine-readable summary: one JSON object
+//!   per binary per line (`{"name":...,"wall_ms":...,"lines":...,
+//!   "perf":{...}}`), with `perf` harvested from `# PERF <key> <value>`
+//!   lines in the binary's stdout. CI's perf-gate stage diffs this
+//!   against the committed baseline.
+//!
+//! All other flags are forwarded to every binary (e.g. `--paper`,
+//! `--seed 7`).
 
+use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -28,15 +39,73 @@ const BINARIES: &[&str] = &[
     "trace_tune",
 ];
 
+/// Extracts `(key, value)` pairs from `# PERF <key> <value>` stdout lines.
+fn harvest_perf(stdout: &str) -> Vec<(String, String)> {
+    let mut perf = Vec::new();
+    for line in stdout.lines() {
+        let Some(rest) = line.strip_prefix("# PERF ") else {
+            continue;
+        };
+        let mut it = rest.split_whitespace();
+        if let (Some(k), Some(v)) = (it.next(), it.next()) {
+            perf.push((k.to_string(), v.to_string()));
+        }
+    }
+    perf
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn main() {
-    let forwarded: Vec<String> = std::env::args().skip(1).collect();
+    let mut forwarded: Vec<String> = Vec::new();
+    let mut only: Option<Vec<String>> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--only" => {
+                let v = argv.next().expect("--only needs a comma-separated list");
+                only = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--json" => {
+                let v = argv.next().expect("--json needs a path");
+                json_path = Some(PathBuf::from(v));
+            }
+            _ => forwarded.push(a),
+        }
+    }
+    if let Some(names) = &only {
+        for n in names {
+            assert!(BINARIES.contains(&n.as_str()), "unknown binary: {n}");
+        }
+    }
+
     let me = std::env::current_exe().expect("own path");
     let bindir = me.parent().expect("bin dir").to_path_buf();
     let results = PathBuf::from("results");
     std::fs::create_dir_all(&results).expect("create results/");
 
     let mut failures = 0;
+    let mut json_lines = String::new();
     for name in BINARIES {
+        if let Some(names) = &only {
+            if !names.iter().any(|n| n == name) {
+                continue;
+            }
+        }
         let exe = bindir.join(name);
         if !exe.exists() {
             eprintln!("[skip] {name}: not built (cargo build --release -p clampi-bench)");
@@ -54,14 +123,41 @@ fn main() {
             failures += 1;
             continue;
         }
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
         let path = results.join(format!("{name}.tsv"));
         std::fs::write(&path, &out.stdout).expect("write results");
+        let lines = out.stdout.iter().filter(|&&b| b == b'\n').count();
         eprintln!(
-            "ok ({:.1}s, {} lines -> {})",
-            started.elapsed().as_secs_f64(),
-            out.stdout.iter().filter(|&&b| b == b'\n').count(),
+            "ok ({:.1}s, {lines} lines -> {})",
+            wall_ms / 1e3,
             path.display()
         );
+
+        if json_path.is_some() {
+            let stdout = String::from_utf8_lossy(&out.stdout);
+            let mut perf_obj = String::new();
+            for (i, (k, v)) in harvest_perf(&stdout).iter().enumerate() {
+                if i > 0 {
+                    perf_obj.push(',');
+                }
+                // PERF values are emitted by our own binaries as bare
+                // numbers; anything else is quoted defensively.
+                if v.parse::<f64>().is_ok() {
+                    let _ = write!(perf_obj, "\"{}\":{v}", json_escape(k));
+                } else {
+                    let _ = write!(perf_obj, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+                }
+            }
+            let _ = writeln!(
+                json_lines,
+                "{{\"name\":\"{}\",\"wall_ms\":{wall_ms:.1},\"lines\":{lines},\"perf\":{{{perf_obj}}}}}",
+                json_escape(name)
+            );
+        }
+    }
+    if let Some(path) = &json_path {
+        std::fs::write(path, &json_lines).expect("write json summary");
+        eprintln!("json summary -> {}", path.display());
     }
     if failures > 0 {
         eprintln!("{failures} binaries failed or were missing");

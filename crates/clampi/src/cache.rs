@@ -126,6 +126,12 @@ pub struct CacheParams {
     pub costs: CacheCostModel,
     /// RNG seed (hash functions, insertion walk, victim sampling).
     pub seed: u64,
+    /// Upper bound, in bytes, on the merged extent of a coalesced
+    /// nonblocking miss transfer ([`crate::CachedWindow::get_nb`]):
+    /// adjacent/overlapping misses to the same target merge into one wire
+    /// transfer only while the merged range stays within this bound.
+    /// `0` disables coalescing entirely.
+    pub max_coalesce_bytes: usize,
 }
 
 impl Default for CacheParams {
@@ -139,6 +145,7 @@ impl Default for CacheParams {
             max_evictions_per_miss: 1,
             costs: CacheCostModel::default(),
             seed: 0xC1A3,
+            max_coalesce_bytes: 16 << 10,
         }
     }
 }
@@ -808,6 +815,49 @@ impl RmaCache {
     /// Number of entries in the CACHED state.
     pub fn cached_entries(&self) -> usize {
         self.cached_count
+    }
+
+    /// An order-independent-of-nothing, content-sensitive fingerprint of
+    /// the resident cache state: every occupied index slot contributes its
+    /// position, key, entry state, size, and stored payload bytes to an
+    /// FNV-1a hash. Two caches that went through the same sequence of
+    /// state transitions fingerprint identically; any divergence in
+    /// placement, classification, or bytes shows up. Used by the
+    /// nonblocking-vs-blocking equivalence property test.
+    pub fn content_fingerprint(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+            fn word(&mut self, w: u64) {
+                for b in w.to_le_bytes() {
+                    self.byte(b);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf29ce484222325);
+        for slot in 0..self.index.capacity() {
+            let Some((key, id)) = self.index.slot(slot) else {
+                continue;
+            };
+            let e = self.entry(id);
+            h.word(slot as u64);
+            h.word(key.target as u64);
+            h.word(key.disp);
+            h.word(match e.state {
+                EntryState::Pending => 1,
+                EntryState::Cached => 2,
+            });
+            h.word(e.size as u64);
+            if e.desc != NO_DESC {
+                for &b in self.storage.read(e.desc, e.size) {
+                    h.byte(b);
+                }
+            }
+        }
+        h.0
     }
 }
 

@@ -71,6 +71,17 @@ struct Slot {
     entry: EntryId,
 }
 
+/// 8-bit slot fingerprint from the mixed key (top byte); `0` is reserved
+/// for "empty", so occupied slots always carry a nonzero fingerprint.
+fn fingerprint(x: u64) -> u8 {
+    let f = (x >> 56) as u8;
+    if f == 0 {
+        1
+    } else {
+        f
+    }
+}
+
 /// Outcome of a Cuckoo insertion attempt.
 #[derive(Debug)]
 pub enum InsertOutcome {
@@ -111,6 +122,14 @@ pub enum InsertOutcome {
 #[derive(Debug)]
 pub struct CuckooIndex {
     slots: Vec<Option<Slot>>,
+    /// Per-slot key fingerprints (0 = empty), checked before the full
+    /// `GetKey` compare on every probe: a cheap one-byte reject that
+    /// skips the 12-byte key comparison on almost every non-matching
+    /// occupied slot. Invariant: `fps[i] == fingerprint(slots[i].key)`
+    /// for occupied slots, `0` otherwise. Pure filter — never consulted
+    /// by insertion placement or displacement choices, so table behavior
+    /// is bit-identical to the un-fingerprinted scheme (property-tested).
+    fps: Vec<u8>,
     hashers: [UniversalHasher; NUM_HASHES],
     len: usize,
     max_iters: usize,
@@ -135,6 +154,7 @@ impl CuckooIndex {
         ];
         CuckooIndex {
             slots: vec![None; capacity],
+            fps: vec![0; capacity],
             hashers,
             len: 0,
             max_iters,
@@ -157,8 +177,31 @@ impl CuckooIndex {
         self.len == 0
     }
 
-    /// Constant-time lookup: probes the `p` candidate slots.
+    /// Constant-time lookup: probes the `p` candidate slots, rejecting
+    /// non-matching ones on their one-byte fingerprint before the full
+    /// key compare.
     pub fn lookup(&self, key: &GetKey) -> Option<EntryId> {
+        let x = key.mix();
+        let fp = fingerprint(x);
+        for h in &self.hashers {
+            let i = h.hash(x, self.slots.len());
+            if self.fps[i] != fp {
+                continue;
+            }
+            if let Some(s) = &self.slots[i] {
+                if s.key == *key {
+                    return Some(s.entry);
+                }
+            }
+        }
+        None
+    }
+
+    /// [`CuckooIndex::lookup`] without the fingerprint filter: probes the
+    /// candidate slots with full key compares only. Exists so the
+    /// property suite can check the filter is behavior-preserving.
+    #[doc(hidden)]
+    pub fn lookup_full_compare(&self, key: &GetKey) -> Option<EntryId> {
         let x = key.mix();
         for h in &self.hashers {
             let i = h.hash(x, self.slots.len());
@@ -192,6 +235,7 @@ impl CuckooIndex {
                 let i = h.hash(x, m);
                 if self.slots[i].is_none() {
                     self.slots[i] = Some(cur);
+                    self.fps[i] = fingerprint(x);
                     self.len += 1;
                     return InsertOutcome::Placed { steps: step };
                 }
@@ -201,6 +245,7 @@ impl CuckooIndex {
             let i = self.hashers[choice].hash(x, m);
             path.push(i);
             let displaced = self.slots[i].replace(cur).expect("slot checked occupied");
+            self.fps[i] = fingerprint(x);
             cur = displaced;
         }
         InsertOutcome::Cycle {
@@ -212,12 +257,17 @@ impl CuckooIndex {
     /// Removes `key`; returns its entry id if present.
     pub fn remove(&mut self, key: &GetKey) -> Option<EntryId> {
         let x = key.mix();
+        let fp = fingerprint(x);
         for h in &self.hashers {
             let i = h.hash(x, self.slots.len());
+            if self.fps[i] != fp {
+                continue;
+            }
             if let Some(s) = &self.slots[i] {
                 if s.key == *key {
                     let id = s.entry;
                     self.slots[i] = None;
+                    self.fps[i] = 0;
                     self.len -= 1;
                     return Some(id);
                 }
@@ -230,6 +280,7 @@ impl CuckooIndex {
     pub fn remove_slot(&mut self, i: usize) -> Option<(GetKey, EntryId)> {
         let s = self.slots[i].take();
         if s.is_some() {
+            self.fps[i] = 0;
             self.len -= 1;
         }
         s.map(|s| (s.key, s.entry))
@@ -238,6 +289,7 @@ impl CuckooIndex {
     /// Empties the table, keeping capacity and hash functions.
     pub fn clear(&mut self) {
         self.slots.iter_mut().for_each(|s| *s = None);
+        self.fps.iter_mut().for_each(|f| *f = 0);
         self.len = 0;
     }
 

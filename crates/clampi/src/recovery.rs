@@ -78,20 +78,20 @@ impl RetryPolicy {
 /// `timeouts`). Returns the last error when the operation is abandoned —
 /// immediately for [`RmaError::TargetFailed`], after exhausting retries
 /// or the time budget for [`RmaError::Transient`].
-pub(crate) fn with_retry<F>(
+pub(crate) fn with_retry<T, F>(
     p: &mut Process,
     policy: &RetryPolicy,
     stats: &mut CacheStats,
     mut op: F,
-) -> Result<(), RmaError>
+) -> Result<T, RmaError>
 where
-    F: FnMut(&mut Process) -> Result<(), RmaError>,
+    F: FnMut(&mut Process) -> Result<T, RmaError>,
 {
     let start = p.clock().now();
     let mut attempt = 0u32;
     loop {
         match op(p) {
-            Ok(()) => return Ok(()),
+            Ok(v) => return Ok(v),
             Err(e @ RmaError::TargetFailed { .. }) => return Err(e),
             Err(e @ RmaError::Transient { .. }) => {
                 if p.clock().now() - start >= policy.op_timeout_ns {
@@ -133,7 +133,7 @@ mod tests {
             }
             let mut stats = CacheStats::default();
             let mut calls = 0u64;
-            let r = with_retry(p, &pol, &mut stats, |_p| {
+            let r: Result<(), _> = with_retry(p, &pol, &mut stats, |_p| {
                 calls += 1;
                 Err(RmaError::Transient { target: 1 })
             });
@@ -177,7 +177,7 @@ mod tests {
         };
         let out = run_collect(SimConfig::checked(), 1, move |p| {
             let mut stats = CacheStats::default();
-            let r = with_retry(p, &pol, &mut stats, |_p| {
+            let r: Result<(), _> = with_retry(p, &pol, &mut stats, |_p| {
                 Err(RmaError::Transient { target: 0 })
             });
             assert!(r.is_err());

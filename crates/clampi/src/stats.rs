@@ -96,6 +96,19 @@ pub struct CacheStats {
     pub degraded_gets: u64,
     /// Cache entries dropped because their target rank was marked failed.
     pub invalidations_on_failure: u64,
+    /// Misses whose wire transfer was merged into an already-outstanding
+    /// nonblocking get to the same target (adjacent/overlapping byte
+    /// range, within `CacheParams::max_coalesce_bytes`): no new issue
+    /// overhead and only the incremental bytes on the wire.
+    pub coalesced_misses: u64,
+    /// Gets issued through the nonblocking batched path
+    /// ([`crate::CachedWindow::get_nb`] and friends).
+    pub batched_gets: u64,
+    /// Wire nanoseconds of nonblocking miss transfers that were hidden
+    /// behind CPU work instead of being blocked on at the epoch closure
+    /// (posted wire time minus time actually spent blocked, saturating).
+    /// Approximate: rounded to whole ns and attributed per closure.
+    pub overlapped_wire_ns: u64,
 }
 
 impl CacheStats {
@@ -175,6 +188,9 @@ impl CacheStats {
             degraded_gets: self.degraded_gets - earlier.degraded_gets,
             invalidations_on_failure: self.invalidations_on_failure
                 - earlier.invalidations_on_failure,
+            coalesced_misses: self.coalesced_misses - earlier.coalesced_misses,
+            batched_gets: self.batched_gets - earlier.batched_gets,
+            overlapped_wire_ns: self.overlapped_wire_ns - earlier.overlapped_wire_ns,
         }
     }
 
@@ -200,6 +216,9 @@ impl CacheStats {
         self.timeouts += other.timeouts;
         self.degraded_gets += other.degraded_gets;
         self.invalidations_on_failure += other.invalidations_on_failure;
+        self.coalesced_misses += other.coalesced_misses;
+        self.batched_gets += other.batched_gets;
+        self.overlapped_wire_ns += other.overlapped_wire_ns;
     }
 }
 
@@ -259,6 +278,29 @@ mod tests {
         assert_eq!(d.total_gets, 2);
         assert_eq!(d.hits, 1);
         assert_eq!(d.direct, 1);
+    }
+
+    #[test]
+    fn delta_and_merge_cover_batching_counters() {
+        let a = CacheStats {
+            coalesced_misses: 7,
+            batched_gets: 20,
+            overlapped_wire_ns: 5_000,
+            ..CacheStats::default()
+        };
+        let earlier = CacheStats {
+            coalesced_misses: 2,
+            batched_gets: 5,
+            overlapped_wire_ns: 1_000,
+            ..CacheStats::default()
+        };
+        let d = a.delta_since(&earlier);
+        assert_eq!(d.coalesced_misses, 5);
+        assert_eq!(d.batched_gets, 15);
+        assert_eq!(d.overlapped_wire_ns, 4_000);
+        let mut m = earlier;
+        m.merge(&d);
+        assert_eq!(m, a);
     }
 
     #[test]

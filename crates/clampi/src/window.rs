@@ -20,7 +20,7 @@
 //! the adaptive controller.
 
 use clampi_datatype::{Block, Datatype, FlatLayout};
-use clampi_rma::{LockKind, Process, RmaError, Window};
+use clampi_rma::{LockKind, Process, RmaError, StagedGet, Window};
 
 use crate::adaptive::{AdaptiveController, AdaptiveParams};
 use crate::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
@@ -101,6 +101,17 @@ impl ClampiConfig {
     }
 }
 
+/// One outstanding coalesced nonblocking miss transfer: the merged byte
+/// extent `[lo, hi)` of one or more staged miss fetches towards `target`,
+/// still in flight on the wire. Later adjacent/overlapping misses widen
+/// the span instead of paying a new issue overhead and latency.
+#[derive(Debug, Clone, Copy)]
+struct NbSpan {
+    target: usize,
+    lo: u64,
+    hi: u64,
+}
+
 /// A caching-enabled RMA window.
 #[derive(Debug)]
 pub struct CachedWindow {
@@ -117,6 +128,27 @@ pub struct CachedWindow {
     /// cache engine so they exist even in [`Mode::Disabled`]; merged into
     /// [`CachedWindow::stats`].
     fault_stats: CacheStats,
+    /// The outstanding-miss table's wire view: one span per in-flight
+    /// coalesced transfer, drained at every epoch closure.
+    nb_spans: Vec<NbSpan>,
+    /// Wire ns posted by the nonblocking path per target since the last
+    /// completion event towards it (input to the overlap accounting).
+    nb_posted_wire: Vec<f64>,
+    /// Cached contiguous layout for internal tail/record fetches, so the
+    /// hot path does not rebuild a one-block `FlatLayout` per call.
+    scratch_layout: FlatLayout,
+    /// Reusable packed-payload buffer for [`CachedWindow::get_typed`].
+    scratch_buf: Vec<u8>,
+}
+
+/// A one-block contiguous layout (empty for `len == 0`, matching what
+/// `Datatype::flatten_n` produces for zero-size types).
+fn contig(len: usize) -> FlatLayout {
+    if len == 0 {
+        FlatLayout::new(Vec::new())
+    } else {
+        FlatLayout::new(vec![Block { offset: 0, len }])
+    }
 }
 
 impl CachedWindow {
@@ -135,6 +167,7 @@ impl CachedWindow {
             _ => None,
         };
         let degraded = vec![false; win.ntargets()];
+        let nb_posted_wire = vec![0.0; win.ntargets()];
         CachedWindow {
             win,
             cache,
@@ -144,6 +177,10 @@ impl CachedWindow {
             retry: cfg.retry,
             degraded,
             fault_stats: CacheStats::default(),
+            nb_spans: Vec::new(),
+            nb_posted_wire,
+            scratch_layout: contig(0),
+            scratch_buf: Vec::new(),
         }
     }
 
@@ -267,6 +304,18 @@ impl CachedWindow {
         dtype: &Datatype,
         count: usize,
     ) -> Option<crate::AccessType> {
+        if dtype.is_contiguous() {
+            // Contiguous fast path: reuse the per-window one-block layout
+            // instead of flattening (and heap-allocating) per call.
+            let len = dtype.size() * count;
+            if self.scratch_layout.total_size() != len {
+                self.scratch_layout = contig(len);
+            }
+            let layout = std::mem::replace(&mut self.scratch_layout, contig(0));
+            let r = self.get_flat(p, dst, target, disp, &layout);
+            self.scratch_layout = layout;
+            return r;
+        }
         let layout = dtype.flatten_n(count);
         self.get_flat(p, dst, target, disp, &layout)
     }
@@ -324,18 +373,18 @@ impl CachedWindow {
                 Lookup::PartialHit { cached_len } => {
                     let fetched = if cached_len > 0 {
                         // Contiguous partial hit: fetch only the missing
-                        // tail.
-                        let tail = FlatLayout::new(vec![Block {
-                            offset: 0,
-                            len: size - cached_len,
-                        }]);
+                        // tail (through the reusable scratch layout — no
+                        // per-call allocation).
+                        if self.scratch_layout.total_size() != size - cached_len {
+                            self.scratch_layout = contig(size - cached_len);
+                        }
                         with_retry(p, &self.retry, &mut self.fault_stats, |p| {
                             self.win.try_get_flat(
                                 p,
                                 &mut dst[cached_len..],
                                 target,
                                 disp + cached_len,
-                                &tail,
+                                &self.scratch_layout,
                             )
                         })
                     } else {
@@ -358,6 +407,216 @@ impl CachedWindow {
             Ok(class) => class,
             Err(e) => self.fail_get(p, dst, target, e),
         })
+    }
+
+    /// Nonblocking batched get (`get_nb`): the entry point of the
+    /// outstanding-miss table.
+    ///
+    /// Classification, destination bytes, and cache-state transitions are
+    /// bit-identical to [`CachedWindow::get`] (property-tested, including
+    /// under fault injection) — only the virtual-time accounting differs:
+    ///
+    /// - a **hit** costs what it always did (no wire involved);
+    /// - a **miss** stages its fetch eagerly and posts its wire time as an
+    ///   outstanding transfer that only completes at the next epoch
+    ///   closure (`flush`/`unlock`/`fence`), so consecutive misses'
+    ///   network times overlap with each other and with CPU work;
+    /// - a miss whose byte range is **adjacent to or overlaps** an
+    ///   already-outstanding miss transfer to the same target *coalesces*
+    ///   into it — no new issue overhead or latency, only the incremental
+    ///   bytes on the wire — as long as the merged extent stays within
+    ///   [`CacheParams::max_coalesce_bytes`] (`0` disables coalescing).
+    ///
+    /// A duplicate miss for the same `GetKey` inside the epoch attaches to
+    /// the in-flight request automatically: the engine's `PENDING` entry
+    /// turns it into a hit, so no second fetch is issued.
+    ///
+    /// The caller must *not* consume `dst` for non-`Hit` outcomes until
+    /// the next epoch closure — same contract as any nonblocking RMA get.
+    pub fn get_nb(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> Option<crate::AccessType> {
+        if dtype.is_contiguous() {
+            let len = dtype.size() * count;
+            if self.scratch_layout.total_size() != len {
+                self.scratch_layout = contig(len);
+            }
+            let layout = std::mem::replace(&mut self.scratch_layout, contig(0));
+            let r = self.get_nb_flat(p, dst, target, disp, &layout);
+            self.scratch_layout = layout;
+            return r;
+        }
+        let layout = dtype.flatten_n(count);
+        self.get_nb_flat(p, dst, target, disp, &layout)
+    }
+
+    /// [`CachedWindow::get_nb`] with a pre-flattened layout.
+    pub fn get_nb_flat(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        layout: &FlatLayout,
+    ) -> Option<crate::AccessType> {
+        self.fault_stats.batched_gets += 1;
+        if self.degraded[target] {
+            dst.fill(0);
+            self.fault_stats.degraded_gets += 1;
+            self.fault_stats.record(crate::AccessType::Failed);
+            return Some(crate::AccessType::Failed);
+        }
+        let size = layout.total_size();
+        if self.cache.is_none() || size == 0 {
+            // Pass-through: a plain nonblocking get on the inner window
+            // (its request queue drains at the next completion event).
+            let fetched = with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                self.win
+                    .try_iget_flat(p, dst, target, disp, layout)
+                    .map(|_| ())
+            });
+            return match fetched {
+                Ok(()) => None,
+                Err(e) => Some(self.fail_get(p, dst, target, e)),
+            };
+        }
+        let key = GetKey {
+            target: target as u32,
+            disp: disp as u64,
+        };
+        let sig = LayoutSig::from_layout(layout);
+        let mergeable = matches!(sig, LayoutSig::Contig(_));
+        // Phase 1: classify. Identical engine calls to the blocking path,
+        // so classifications and cache state cannot diverge. The engine's
+        // CPU cost is left accumulated and charged *after* the match, like
+        // the blocking path does — charging it before the wire post would
+        // delay every posted completion by the lookup cost and make the
+        // nonblocking path slower than blocking.
+        let looked_up = {
+            let cache = self.cache.as_mut().expect("checked above");
+            cache.process_lookup(key, &sig, dst)
+        };
+        let outcome: Result<crate::AccessType, RmaError> = match looked_up {
+            Lookup::Hit => Ok(crate::AccessType::Hit),
+            Lookup::Miss => with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                self.win.try_get_staged(p, dst, target, disp, layout)
+            })
+            .map(|staged| {
+                self.account_nb_fetch(
+                    p,
+                    target,
+                    disp as u64,
+                    (disp + size) as u64,
+                    staged,
+                    mergeable,
+                );
+                let cache = self.cache.as_mut().expect("checked above");
+                cache.finish_miss(key, sig, dst)
+            }),
+            Lookup::PartialHit { cached_len } => {
+                let staged = if cached_len > 0 {
+                    if self.scratch_layout.total_size() != size - cached_len {
+                        self.scratch_layout = contig(size - cached_len);
+                    }
+                    with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                        self.win.try_get_staged(
+                            p,
+                            &mut dst[cached_len..],
+                            target,
+                            disp + cached_len,
+                            &self.scratch_layout,
+                        )
+                    })
+                } else {
+                    with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                        self.win.try_get_staged(p, dst, target, disp, layout)
+                    })
+                };
+                staged.map(|st| {
+                    self.account_nb_fetch(
+                        p,
+                        target,
+                        (disp + cached_len) as u64,
+                        (disp + size) as u64,
+                        st,
+                        mergeable,
+                    );
+                    let cache = self.cache.as_mut().expect("checked above");
+                    cache.finish_partial(key, sig, dst)
+                })
+            }
+        };
+        let cost = self.cache.as_mut().expect("checked above").take_cost();
+        p.clock_mut().charge_cpu(cost);
+        Some(match outcome {
+            Ok(class) => class,
+            Err(e) => self.fail_get(p, dst, target, e),
+        })
+    }
+
+    /// Accounts the virtual-time cost of one staged nonblocking miss fetch
+    /// of bytes `[lo, hi)` at `target`: merges into an outstanding span
+    /// when adjacent/overlapping and within the coalescing bound (posting
+    /// only the incremental bytes' wire time — no new issue overhead, no
+    /// new latency), otherwise charges the issue overhead and posts the
+    /// transfer's full wire time as outstanding.
+    fn account_nb_fetch(
+        &mut self,
+        p: &mut Process,
+        target: usize,
+        lo: u64,
+        hi: u64,
+        staged: StagedGet,
+        mergeable: bool,
+    ) {
+        let max_coalesce = self
+            .cache
+            .as_ref()
+            .map_or(0, |c| c.params().max_coalesce_bytes) as u64;
+        if mergeable && max_coalesce > 0 {
+            let my_rank = self.win.my_rank();
+            for s in &mut self.nb_spans {
+                // Merge candidates: same target, ranges overlapping or
+                // touching, merged extent within the bound.
+                if s.target != target || lo > s.hi || s.lo > hi {
+                    continue;
+                }
+                let (mlo, mhi) = (s.lo.min(lo), s.hi.max(hi));
+                if mhi - mlo > max_coalesce {
+                    continue;
+                }
+                let old_wire = p
+                    .netmodel()
+                    .transfer_cost(my_rank, target, (s.hi - s.lo) as usize, 1)
+                    .wire_ns;
+                let new_wire = p
+                    .netmodel()
+                    .transfer_cost(my_rank, target, (mhi - mlo) as usize, 1)
+                    .wire_ns;
+                let inc = (new_wire - old_wire).max(0.0) * staged.spike;
+                if inc > 0.0 {
+                    p.clock_mut().post_network(target, inc);
+                    self.nb_posted_wire[target] += inc;
+                }
+                s.lo = mlo;
+                s.hi = mhi;
+                self.fault_stats.coalesced_misses += 1;
+                return;
+            }
+            self.nb_spans.push(NbSpan { target, lo, hi });
+        }
+        p.clock_mut().charge_cpu(staged.cost.cpu_ns);
+        let wire = staged.cost.wire_ns * staged.spike;
+        if wire > 0.0 {
+            p.clock_mut().post_network(target, wire);
+            self.nb_posted_wire[target] += wire;
+        }
     }
 
     /// [`CachedWindow::get`] with a *typed origin*: the payload — served
@@ -387,9 +646,12 @@ impl CachedWindow {
             tlayout.total_size(),
             "origin and target payload sizes differ"
         );
-        let mut packed = vec![0u8; tlayout.total_size()];
+        self.scratch_buf.clear();
+        self.scratch_buf.resize(tlayout.total_size(), 0);
+        let mut packed = std::mem::take(&mut self.scratch_buf);
         let class = self.get_flat(p, &mut packed, target, disp, &tlayout);
         clampi_datatype::unpack(&packed, &origin, dst);
+        self.scratch_buf = packed;
         // The origin-side scatter is initiator CPU work.
         if let Some(cache) = self.cache.as_ref() {
             let cost = cache.params().costs.memcpy_cost(origin.total_size());
@@ -492,15 +754,48 @@ impl CachedWindow {
         }
     }
 
+    /// Drains the nonblocking-miss wire accounting ahead of a completion
+    /// event towards `target` (`None` = all targets): clears the affected
+    /// spans and returns their posted wire ns.
+    fn nb_take_posted(&mut self, target: Option<usize>) -> f64 {
+        match target {
+            Some(t) => {
+                self.nb_spans.retain(|s| s.target != t);
+                std::mem::take(&mut self.nb_posted_wire[t])
+            }
+            None => {
+                self.nb_spans.clear();
+                self.nb_posted_wire.iter_mut().map(std::mem::take).sum()
+            }
+        }
+    }
+
+    /// Credits `overlapped_wire_ns`: of the `posted` nonblocking wire ns
+    /// drained by a completion event, the part the initiator did not have
+    /// to block for was hidden behind CPU work. `blocked_delta` also
+    /// covers waits for blocking-path transfers completed by the same
+    /// event, so the credit is a (slightly conservative) approximation.
+    fn nb_credit_overlap(&mut self, posted: f64, blocked_delta: f64) {
+        if posted > 0.0 {
+            self.fault_stats.overlapped_wire_ns += (posted - blocked_delta).max(0.0) as u64;
+        }
+    }
+
     /// MPI_Win_flush + cache epoch hook.
     pub fn flush(&mut self, p: &mut Process, target: usize) {
+        let posted = self.nb_take_posted(Some(target));
+        let blocked0 = p.clock().total_blocked();
         self.win.flush(p, target);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 
     /// MPI_Win_flush_all + cache epoch hook.
     pub fn flush_all(&mut self, p: &mut Process) {
+        let posted = self.nb_take_posted(None);
+        let blocked0 = p.clock().total_blocked();
         self.win.flush_all(p);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 
@@ -511,7 +806,10 @@ impl CachedWindow {
 
     /// MPI_Win_unlock + cache epoch hook.
     pub fn unlock(&mut self, p: &mut Process, target: usize) {
+        let posted = self.nb_take_posted(Some(target));
+        let blocked0 = p.clock().total_blocked();
         self.win.unlock(p, target);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 
@@ -522,13 +820,19 @@ impl CachedWindow {
 
     /// MPI_Win_unlock_all + cache epoch hook.
     pub fn unlock_all(&mut self, p: &mut Process) {
+        let posted = self.nb_take_posted(None);
+        let blocked0 = p.clock().total_blocked();
         self.win.unlock_all(p);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 
     /// MPI_Win_fence + cache epoch hook.
     pub fn fence(&mut self, p: &mut Process) {
+        let posted = self.nb_take_posted(None);
+        let blocked0 = p.clock().total_blocked();
         self.win.fence(p);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 
@@ -545,13 +849,19 @@ impl CachedWindow {
     /// MPI_Win_complete + cache epoch hook (the PSCW epoch closure the
     /// paper's epoch model keys on).
     pub fn complete(&mut self, p: &mut Process) {
+        let posted = self.nb_take_posted(None);
+        let blocked0 = p.clock().total_blocked();
         self.win.complete(p);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 
     /// MPI_Win_wait + cache epoch hook.
     pub fn wait(&mut self, p: &mut Process, accessors: &[usize]) {
+        let posted = self.nb_take_posted(None);
+        let blocked0 = p.clock().total_blocked();
         self.win.wait(p, accessors);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
     }
 }

@@ -1,0 +1,97 @@
+//! Allocation regression test for the get hot path.
+//!
+//! The `get`/`get_nb` wrappers reuse per-window scratch (the contiguous
+//! one-block layout and the typed staging buffer) instead of allocating
+//! per call. This test pins that down with a counting global allocator:
+//! after warmup, a *hit* served through the public wrappers must perform
+//! zero heap allocations on the calling thread.
+//!
+//! The counter is thread-local, so the other rank's thread (and the test
+//! harness) cannot perturb the measurement. The assertions are compiled
+//! only under `debug_assertions`: the counting itself is cheap, but the
+//! guarantee is about code structure, not optimizer behavior, and one
+//! build is enough to enforce it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use clampi::{AccessType, CacheParams, CachedWindow, ClampiConfig, Mode};
+use clampi_datatype::Datatype;
+use clampi_rma::{run_collect, SimConfig};
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // `try_with` keeps the allocator safe during TLS teardown.
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+const WIN: usize = 4096;
+const GET: usize = 64;
+const SLOTS: usize = WIN / GET;
+
+#[test]
+fn hit_path_does_not_allocate() {
+    let out = run_collect(SimConfig::default(), 2, |p| {
+        let cfg = ClampiConfig::fixed(Mode::AlwaysCache, CacheParams::default());
+        let mut win = CachedWindow::create(p, WIN, cfg);
+        p.barrier();
+        if p.rank() != 0 {
+            p.barrier();
+            return (0u64, 0u64);
+        }
+        win.lock_all(p);
+        let dtype = Datatype::bytes(GET);
+        let mut buf = [0u8; GET];
+        // Warmup: populate every slot (misses allocate cache entries) and
+        // fault the scratch layout into existence.
+        for slot in 0..SLOTS {
+            win.get(p, &mut buf, 1, slot * GET, &dtype, 1);
+        }
+        win.flush_all(p);
+        // Measure: every further get is a hit and must stay off the heap,
+        // through both the blocking and the nonblocking wrapper.
+        let before = allocs_on_this_thread();
+        for round in 0..4 {
+            for slot in 0..SLOTS {
+                let class = if round % 2 == 0 {
+                    win.get(p, &mut buf, 1, slot * GET, &dtype, 1)
+                } else {
+                    win.get_nb(p, &mut buf, 1, slot * GET, &dtype, 1)
+                };
+                assert_eq!(class, Some(AccessType::Hit), "round {round} slot {slot}");
+            }
+        }
+        let hit_allocs = allocs_on_this_thread() - before;
+        win.unlock_all(p);
+        p.barrier();
+        (hit_allocs, (4 * SLOTS) as u64)
+    });
+    let (hit_allocs, gets) = out[0].1;
+    assert_eq!(gets, 4 * SLOTS as u64);
+    #[cfg(debug_assertions)]
+    assert_eq!(
+        hit_allocs, 0,
+        "the hit path allocated {hit_allocs} times over {gets} gets"
+    );
+    #[cfg(not(debug_assertions))]
+    let _ = hit_allocs;
+}

@@ -130,6 +130,25 @@ pub struct RmaRequest {
     id: u64,
 }
 
+/// The cost breakdown of a staged (not yet charged) get, returned by
+/// [`Window::try_get_staged`].
+///
+/// The data has already been copied into the destination buffer, and the
+/// op counters have been updated, but *nothing* has been charged to the
+/// virtual clock and no network completion has been posted: the caller
+/// owns the accounting. This is the building block for batching layers
+/// that coalesce several gets into fewer wire transfers — they compose
+/// the `cost`s themselves (e.g. charge one issue overhead for the whole
+/// batch, or post only the incremental wire time of a widened transfer).
+#[derive(Debug, Clone, Copy)]
+pub struct StagedGet {
+    /// LogGP cost of this get taken alone (CPU issue overhead + wire).
+    pub cost: crate::netmodel::TransferCost,
+    /// Wire-time multiplier from fault injection (latency spike), 1.0
+    /// normally. Wire time actually posted should be `wire_ns * spike`.
+    pub spike: f64,
+}
+
 /// The per-rank handle to an RMA window.
 ///
 /// Created collectively by [`Process::win_allocate`]; all data-movement and
@@ -142,16 +161,35 @@ pub struct Window {
     epoch: u64,
     accesses: Vec<AccessRec>,
     pscw_targets: Vec<usize>,
+    /// Outstanding nonblocking-get request ids, queued per target; drained
+    /// (cleared) when the corresponding completion event runs.
+    nb_queue: Vec<Vec<u64>>,
+    /// Reusable one-block layout for contiguous typed gets, so the hot
+    /// path does not flatten (heap-allocate) per call.
+    scratch_layout: FlatLayout,
+}
+
+/// A one-block contiguous layout of `len` bytes (empty for `len == 0`,
+/// matching what flattening a zero-size type produces).
+fn contig_layout(len: usize) -> FlatLayout {
+    if len == 0 {
+        FlatLayout::new(Vec::new())
+    } else {
+        FlatLayout::new(vec![clampi_datatype::Block { offset: 0, len }])
+    }
 }
 
 impl Window {
     pub(crate) fn new(shared: Arc<WinShared>, my_rank: usize) -> Self {
+        let ntargets = shared.sizes.len();
         Window {
             shared,
             my_rank,
             epoch: 0,
             accesses: Vec::new(),
             pscw_targets: Vec::new(),
+            nb_queue: vec![Vec::new(); ntargets],
+            scratch_layout: contig_layout(0),
         }
     }
 
@@ -262,6 +300,11 @@ impl Window {
         dtype: &Datatype,
         count: usize,
     ) {
+        if dtype.is_contiguous() {
+            let len = dtype.size() * count;
+            return self
+                .with_contig_layout(len, |w, layout| w.get_flat(p, dst, target, disp, layout));
+        }
         let layout = dtype.flatten_n(count);
         self.get_flat(p, dst, target, disp, &layout);
     }
@@ -278,6 +321,12 @@ impl Window {
         dtype: &Datatype,
         count: usize,
     ) -> Result<(), RmaError> {
+        if dtype.is_contiguous() {
+            let len = dtype.size() * count;
+            return self.with_contig_layout(len, |w, layout| {
+                w.try_get_flat(p, dst, target, disp, layout)
+            });
+        }
         let layout = dtype.flatten_n(count);
         self.try_get_flat(p, dst, target, disp, &layout)
     }
@@ -322,6 +371,115 @@ impl Window {
         disp: usize,
         layout: &FlatLayout,
     ) -> Result<(), RmaError> {
+        self.try_iget_flat(p, dst, target, disp, layout).map(|_| ())
+    }
+
+    /// Nonblocking get (MPI_Rget semantics): like [`Window::get`] but
+    /// returns a typed request handle immediately. The data is in `dst`
+    /// right away (the simulator copies eagerly); in virtual time the
+    /// transfer stays outstanding on this window's per-target request
+    /// queue until [`Window::wait_request`] on the handle or the next
+    /// completion event (`flush`/`unlock`/`fence`/`complete`) drains it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access or on an injected fault (use
+    /// [`Window::try_iget`] under fault injection).
+    pub fn iget(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> RmaRequest {
+        self.try_iget(p, dst, target, disp, dtype, count)
+            .unwrap_or_else(|e| {
+                panic!("unrecovered RMA fault on iget: {e} (use try_iget or the CLaMPI recovery layer under fault injection)")
+            })
+    }
+
+    /// Fallible [`Window::iget`]: surfaces injected faults as typed
+    /// [`RmaError`]s. Fault plans apply per posted request — each
+    /// `try_iget` draws its own fault decision, so a batch of nonblocking
+    /// gets composes with the CLaMPI recovery layer exactly like a
+    /// sequence of blocking ones.
+    pub fn try_iget(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        dtype: &Datatype,
+        count: usize,
+    ) -> Result<RmaRequest, RmaError> {
+        if dtype.is_contiguous() {
+            let len = dtype.size() * count;
+            return self.with_contig_layout(len, |w, layout| {
+                w.try_iget_flat(p, dst, target, disp, layout)
+            });
+        }
+        let layout = dtype.flatten_n(count);
+        self.try_iget_flat(p, dst, target, disp, &layout)
+    }
+
+    /// Runs `f` with a borrowed contiguous scratch layout of `len` bytes,
+    /// reusing the per-window allocation (the replace dance keeps `self`
+    /// fully usable inside `f`; `contig_layout(0)` is allocation-free).
+    fn with_contig_layout<R>(
+        &mut self,
+        len: usize,
+        f: impl FnOnce(&mut Self, &FlatLayout) -> R,
+    ) -> R {
+        if self.scratch_layout.total_size() != len {
+            self.scratch_layout = contig_layout(len);
+        }
+        let layout = std::mem::replace(&mut self.scratch_layout, contig_layout(0));
+        let r = f(self, &layout);
+        self.scratch_layout = layout;
+        r
+    }
+
+    /// [`Window::try_iget`] with a pre-flattened layout. This is the core
+    /// get primitive: every other get entry point delegates here.
+    ///
+    /// On `Ok` the request id has been appended to the per-target
+    /// outstanding queue (see [`Window::outstanding_requests`]); on `Err`
+    /// no bytes have moved and nothing is outstanding.
+    pub fn try_iget_flat(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        layout: &FlatLayout,
+    ) -> Result<RmaRequest, RmaError> {
+        let staged = self.try_get_staged(p, dst, target, disp, layout)?;
+        p.clock_mut().charge_cpu(staged.cost.cpu_ns);
+        p.clock_mut()
+            .post_network(target, staged.cost.wire_ns * staged.spike);
+        let id = p.clock_mut().last_posted_id();
+        self.nb_queue[target].push(id);
+        Ok(RmaRequest { id })
+    }
+
+    /// Stages a get without charging it: performs the fault gate, the
+    /// conflict check, and the eager data copy into `dst`, and bumps the
+    /// op counters — but charges *no* CPU time and posts *no* network
+    /// completion. The returned [`StagedGet`] carries the LogGP cost this
+    /// get would have had alone; the caller does the accounting.
+    ///
+    /// This exists for batching layers (CLaMPI's coalescing miss table)
+    /// that merge several staged gets into fewer, wider wire transfers.
+    pub fn try_get_staged(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+        layout: &FlatLayout,
+    ) -> Result<StagedGet, RmaError> {
         let span = layout.span();
         assert!(
             disp + span <= self.shared.sizes[target],
@@ -348,11 +506,15 @@ impl Window {
             layout.total_size(),
             layout.blocks().len(),
         );
-        p.clock_mut().charge_cpu(cost.cpu_ns);
-        p.clock_mut().post_network(target, cost.wire_ns * spike);
         p.counters.gets += 1;
         p.counters.bytes_get += layout.total_size() as u64;
-        Ok(())
+        Ok(StagedGet { cost, spike })
+    }
+
+    /// Number of nonblocking get requests posted towards `target` and not
+    /// yet completed by a `wait_request` or a completion event.
+    pub fn outstanding_requests(&self, target: usize) -> usize {
+        self.nb_queue[target].len()
     }
 
     /// [`Window::get`] with a *typed origin*: the fetched payload is
@@ -432,6 +594,12 @@ impl Window {
     /// Does **not** close the epoch.
     pub fn wait_request(&mut self, p: &mut Process, req: RmaRequest) {
         p.clock_mut().wait_one(req.id);
+        for q in &mut self.nb_queue {
+            if let Some(i) = q.iter().position(|&id| id == req.id) {
+                q.swap_remove(i);
+                break;
+            }
+        }
     }
 
     /// Writes `count` elements of `dtype` from the packed buffer `src` into
@@ -680,6 +848,16 @@ impl Window {
         self.accesses.clear();
     }
 
+    fn drain_requests(&mut self, target: usize) {
+        self.nb_queue[target].clear();
+    }
+
+    fn drain_all_requests(&mut self) {
+        for q in &mut self.nb_queue {
+            q.clear();
+        }
+    }
+
     /// Completes all outstanding operations towards `target`
     /// (MPI_Win_flush). Counts as an epoch closure for the caching layer.
     pub fn flush(&mut self, p: &mut Process, target: usize) {
@@ -687,6 +865,7 @@ impl Window {
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_target(target);
         p.counters.flushes += 1;
+        self.drain_requests(target);
         self.close_epoch();
     }
 
@@ -697,6 +876,7 @@ impl Window {
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
         p.counters.flushes += 1;
+        self.drain_all_requests();
         self.close_epoch();
     }
 
@@ -715,6 +895,7 @@ impl Window {
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_target(target);
         self.shared.locks.unlock(target);
+        self.drain_requests(target);
         self.close_epoch();
     }
 
@@ -732,6 +913,7 @@ impl Window {
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
         self.shared.locks.unlock_all();
+        self.drain_all_requests();
         self.close_epoch();
     }
 
@@ -787,6 +969,7 @@ impl Window {
             );
         }
         self.pscw_targets.clear();
+        self.drain_all_requests();
         self.close_epoch();
     }
 
@@ -813,6 +996,7 @@ impl Window {
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
         p.barrier();
+        self.drain_all_requests();
         self.close_epoch();
     }
 }
