@@ -16,7 +16,7 @@
 #                 not installed)
 #   build         cargo build --release --offline (workspace)
 #   test          cargo test -q --offline (workspace)
-#   prop-matrix   the six property suites under 3 fixed CLAMPI_PROP_SEED
+#   prop-matrix   the seven property suites under 3 fixed CLAMPI_PROP_SEED
 #                 values (single-case replay determinism)
 #   bench-smoke   microcosts + fig_fault_recovery + fig08_overlap under
 #                 CLAMPI_BENCH_SMOKE=1, writing results/BENCH_smoke.json
@@ -144,7 +144,7 @@ stage_test() {
 }
 
 stage_prop_matrix() {
-    # The six property suites, each replayed as a single case under 3
+    # The seven property suites, each replayed as a single case under 3
     # fixed seeds (CLAMPI_PROP_SEED makes the harness run exactly that
     # case). Catches seed-dependent flakiness and keeps the replay knob
     # itself exercised.
@@ -156,6 +156,7 @@ stage_prop_matrix() {
         "clampi:prop_fault"
         "clampi:prop_index"
         "clampi:prop_nb_equivalence"
+        "clampi:prop_coherence"
     )
     for seed in "${PROP_SEEDS[@]}"; do
         for suite in "${suites[@]}"; do
@@ -165,7 +166,7 @@ stage_prop_matrix() {
                 > /dev/null
         done
     done
-    echo "6 suites x ${#PROP_SEEDS[@]} seeds replayed"
+    echo "7 suites x ${#PROP_SEEDS[@]} seeds replayed"
 }
 
 stage_bench_smoke() {
@@ -178,11 +179,11 @@ stage_bench_smoke() {
         --bin fig_fault_recovery -- --json results/BENCH_smoke.json
     test -s results/BENCH_smoke.json
     echo "wrote results/BENCH_smoke.json"
-    echo "-- fig08_overlap via run_all (smoke, perf summary)"
+    echo "-- fig08_overlap + fig_coherence via run_all (smoke, perf summary)"
     # run_all locates its sibling binaries next to its own executable, so
     # the whole bench package must be built first.
     cargo build -q --offline --release -p clampi-bench
-    CLAMPI_BENCH_SMOKE=1 ./target/release/run_all --only fig08_overlap \
+    CLAMPI_BENCH_SMOKE=1 ./target/release/run_all --only fig08_overlap,fig_coherence \
         --json BENCH_perf.json
     test -s BENCH_perf.json
     echo "wrote BENCH_perf.json"

@@ -183,6 +183,32 @@ impl AnyWindow {
         }
     }
 
+    /// A contiguous put of `src` into `target`'s region at `disp` (for
+    /// read-write workloads like in-place PageRank updates). Routed
+    /// through the caching layer when there is one, so its write-through
+    /// invalidation and degradation handling apply.
+    pub fn put(&mut self, p: &mut Process, src: &[u8], target: usize, disp: usize) {
+        let dtype = Datatype::bytes(src.len());
+        match self {
+            AnyWindow::Plain(w) => w.put(p, src, target, disp, &dtype, 1),
+            AnyWindow::Clampi(w) => w.put(p, src, target, disp, &dtype, 1),
+            AnyWindow::Native(w) => w.inner_mut().put(p, src, target, disp, &dtype, 1),
+        }
+    }
+
+    /// Makes remotely-written data safe to read again: runs a CLaMPI
+    /// coherence pass ([`CachedWindow::validate`] — surgical under a
+    /// coherence mode, a full invalidation without one); falls back to a
+    /// full invalidation for the block cache; no-op for the plain window
+    /// (uncached reads are always coherent).
+    pub fn validate(&mut self, p: &mut Process) {
+        match self {
+            AnyWindow::Plain(_) => {}
+            AnyWindow::Clampi(w) => w.validate(p),
+            AnyWindow::Native(w) => w.invalidate(),
+        }
+    }
+
     /// Explicit cache invalidation (no-op for the plain window).
     pub fn invalidate(&mut self, p: &mut Process) {
         match self {

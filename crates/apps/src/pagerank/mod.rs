@@ -33,6 +33,14 @@ pub struct PrConfig {
     pub iterations: usize,
     /// CPU nanoseconds charged per processed edge.
     pub edge_ns: f64,
+    /// Publish each iteration's new scores **in place** through RMA `put`s
+    /// into a single-buffer window instead of double-buffering via
+    /// `local_mut`. This makes PageRank a read-write workload: every
+    /// cached score goes stale once per iteration, which is exactly what
+    /// the coherence subsystem ([`clampi::CoherenceMode`]) exists for —
+    /// [`AnyWindow::validate`] after the post-put barrier makes the new
+    /// scores safe to read through the cache.
+    pub update_via_put: bool,
 }
 
 impl PrConfig {
@@ -43,7 +51,14 @@ impl PrConfig {
             damping: 0.85,
             iterations: 10,
             edge_ns: 2.0,
+            update_via_put: false,
         }
+    }
+
+    /// The same configuration publishing scores in place via `put`.
+    pub fn via_put(mut self) -> Self {
+        self.update_via_put = true;
+        self
     }
 }
 
@@ -97,9 +112,12 @@ pub fn pagerank(p: &mut Process, graph: &Csr, cfg: &PrConfig) -> PrResult {
     let per = n.div_ceil(nranks);
 
     // Window layout: [old scores | new scores] of the owned block, 8 bytes
-    // per vertex. `phase` selects which half is the read-only side.
+    // per vertex. `phase` selects which half is the read-only side. The
+    // in-place (`update_via_put`) variant keeps a single buffer that is
+    // overwritten by `put` every iteration.
     let half = (per * 8).max(8);
-    let mut win = AnyWindow::create(p, 2 * half, &cfg.backend);
+    let halves = if cfg.update_via_put { 1 } else { 2 };
+    let mut win = AnyWindow::create(p, halves * half, &cfg.backend);
 
     let mut pr_local = vec![1.0 / n as f64; mine];
     {
@@ -117,9 +135,18 @@ pub fn pagerank(p: &mut Process, graph: &Csr, cfg: &PrConfig) -> PrResult {
     let mut fetch_bufs: Vec<[u8; 8]> = Vec::new();
     let t0 = p.now();
 
+    let mut put_buf: Vec<u8> = Vec::new();
     for it in 0..cfg.iterations {
-        let read_base = (it % 2) * half;
-        let write_base = ((it + 1) % 2) * half;
+        let read_base = if cfg.update_via_put {
+            0
+        } else {
+            (it % 2) * half
+        };
+        let write_base = if cfg.update_via_put {
+            0
+        } else {
+            ((it + 1) % 2) * half
+        };
         let base = (1.0 - cfg.damping) / n as f64;
         let mut next = vec![0.0f64; mine];
 
@@ -172,18 +199,39 @@ pub fn pagerank(p: &mut Process, graph: &Csr, cfg: &PrConfig) -> PrResult {
             next[li] = base + cfg.damping * sum;
         }
 
-        // Publish the new scores into the write half, then flip.
-        {
-            let mut m = win.local_mut();
-            for (i, &v) in next.iter().enumerate() {
-                m[write_base + i * 8..write_base + (i + 1) * 8].copy_from_slice(&v.to_le_bytes());
+        if cfg.update_via_put {
+            // In-place publication: wait until every rank has finished
+            // reading the old scores, overwrite them with one contiguous
+            // put to our own block, complete it, and — once every write
+            // is globally done — run a coherence pass so no rank can
+            // serve the overwritten scores from its cache.
+            p.barrier();
+            put_buf.clear();
+            for &v in &next {
+                put_buf.extend_from_slice(&v.to_le_bytes());
             }
+            if !put_buf.is_empty() {
+                win.put(p, &put_buf, rank, 0);
+            }
+            win.flush_batch(p);
+            pr_local = next;
+            p.barrier();
+            win.validate(p);
+        } else {
+            // Publish the new scores into the write half, then flip.
+            {
+                let mut m = win.local_mut();
+                for (i, &v) in next.iter().enumerate() {
+                    m[write_base + i * 8..write_base + (i + 1) * 8]
+                        .copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            pr_local = next;
+            // End of the read-only phase for this iteration's read half:
+            // the user-defined invalidation of Listing 1.
+            win.invalidate(p);
+            p.barrier();
         }
-        pr_local = next;
-        // End of the read-only phase for this iteration's read half: the
-        // user-defined invalidation of Listing 1.
-        win.invalidate(p);
-        p.barrier();
     }
     let total_time_ns = p.now() - t0;
     let clampi_stats = win.clampi_stats();
@@ -264,6 +312,86 @@ mod tests {
         assert!(stats.hit_ratio() > 0.5, "hit ratio {}", stats.hit_ratio());
         // One invalidation per iteration (the Listing 1 pattern).
         assert!(stats.invalidations >= 10);
+    }
+
+    #[test]
+    fn in_place_put_updates_stay_coherent_in_every_mode() {
+        use clampi::CoherenceMode;
+        // The read-write variant: scores are overwritten in place via put
+        // every iteration. Any cache that serves one stale score diverges
+        // from the sequential reference immediately.
+        let g = Csr::rmat(RmatParams::graph500(8, 8), 37);
+        let reference = sequential_pagerank(&g, 0.85, 10);
+
+        let fompi = PrConfig::with_backend(Backend::Fompi).via_put();
+        let out = run_collect(SimConfig::default(), 4, |p| pagerank(p, &g, &fompi));
+        assert!(
+            max_err(&stitch(g.num_vertices(), &out), &reference) < 1e-12,
+            "uncached put-variant diverged"
+        );
+
+        for coherence in [
+            CoherenceMode::EagerInvalidate,
+            CoherenceMode::EpochValidate,
+            CoherenceMode::None,
+        ] {
+            let cached = PrConfig::with_backend(Backend::Clampi(ClampiConfig::fixed(
+                Mode::AlwaysCache,
+                CacheParams {
+                    index_entries: 1 << 14,
+                    storage_bytes: 4 << 20,
+                    coherence,
+                    ..CacheParams::default()
+                },
+            )))
+            .via_put();
+            let out = run_collect(SimConfig::default(), 4, |p| pagerank(p, &g, &cached));
+            assert!(
+                max_err(&stitch(g.num_vertices(), &out), &reference) < 1e-12,
+                "{coherence:?}: a stale cached score crossed an iteration"
+            );
+            let stats = out[0].1.clampi_stats.unwrap();
+            match coherence {
+                CoherenceMode::EagerInvalidate => {
+                    assert!(stats.notifications_drained > 0, "no notifications drained");
+                    assert!(stats.stale_hits_prevented > 0, "no stale entries dropped");
+                    assert!(stats.hit_ratio() > 0.3, "hit ratio {}", stats.hit_ratio());
+                }
+                CoherenceMode::EpochValidate => {
+                    assert!(stats.version_fetches > 0, "no version fetches issued");
+                    assert!(stats.stale_hits_prevented > 0, "no stale entries dropped");
+                }
+                CoherenceMode::None => {
+                    // validate() had to fall back to full invalidation.
+                    assert!(stats.invalidations >= 10);
+                    assert_eq!(stats.version_fetches, 0);
+                    assert_eq!(stats.notifications_drained, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eager_invalidation_preserves_within_iteration_reuse() {
+        // With surgical invalidation the put-variant must still reuse hub
+        // scores within an iteration, like the double-buffered run does.
+        let g = Csr::rmat(RmatParams::graph500(8, 8), 39);
+        let eager = PrConfig::with_backend(Backend::Clampi(ClampiConfig::fixed(
+            Mode::AlwaysCache,
+            CacheParams {
+                index_entries: 1 << 14,
+                storage_bytes: 4 << 20,
+                coherence: clampi::CoherenceMode::EagerInvalidate,
+                ..CacheParams::default()
+            },
+        )))
+        .via_put();
+        let out = run_collect(SimConfig::default(), 3, |p| pagerank(p, &g, &eager));
+        let stats = out[0].1.clampi_stats.unwrap();
+        assert!(stats.hits > 0, "no reuse at all");
+        // Surgical coherence never needed a full cache wipe.
+        assert_eq!(stats.invalidations, 0, "full invalidation ran");
+        assert_eq!(stats.notification_overflows, 0, "ring overflowed");
     }
 
     #[test]

@@ -109,7 +109,7 @@ fn bench_cache_paths() {
                 cache.process_lookup(key(d * size as u64), &sig, &mut dst),
                 Lookup::Miss
             );
-            cache.finish_miss(key(d * size as u64), sig.clone(), &data);
+            cache.finish_miss(key(d * size as u64), sig.clone(), &data, 0);
         }
         cache.epoch_close();
         let mut dst = vec![0u8; size];
@@ -134,7 +134,7 @@ fn bench_cache_paths() {
             let mut dst = vec![0u8; size];
             let r = cache.process_lookup(key(d * size as u64), &sig, &mut dst);
             debug_assert_eq!(r, Lookup::Miss);
-            let class = cache.finish_miss(key(d * size as u64), sig.clone(), &data);
+            let class = cache.finish_miss(key(d * size as u64), sig.clone(), &data, 0);
             cache.epoch_close();
             black_box(class == AccessType::Failed);
         });

@@ -23,6 +23,7 @@ const BINARIES: &[&str] = &[
     "fig03_lcc_sizes",
     "fig07_access_costs",
     "fig08_overlap",
+    "fig_coherence",
     "fig09_adaptive",
     "fig10_fragmentation",
     "fig11_victim_stats",

@@ -82,6 +82,10 @@ struct Entry {
     state: EntryState,
     desc: DescId,
     last: u64,
+    /// Target-region write version observed when this entry was filled
+    /// (0 when the caller does not track versions). The coherence layer
+    /// compares it against put-notification records to drop stale data.
+    version: u64,
 }
 
 const NO_DESC: DescId = DescId::MAX;
@@ -132,6 +136,10 @@ pub struct CacheParams {
     /// transfer only while the merged range stays within this bound.
     /// `0` disables coalescing entirely.
     pub max_coalesce_bytes: usize,
+    /// How cached reads stay coherent with concurrent remote `put`s
+    /// (see [`crate::coherence::CoherenceMode`]). `None` by default —
+    /// bit-identical to the pre-coherence behaviour.
+    pub coherence: crate::coherence::CoherenceMode,
 }
 
 impl Default for CacheParams {
@@ -146,6 +154,7 @@ impl Default for CacheParams {
             costs: CacheCostModel::default(),
             seed: 0xC1A3,
             max_coalesce_bytes: 16 << 10,
+            coherence: crate::coherence::CoherenceMode::None,
         }
     }
 }
@@ -168,7 +177,7 @@ impl Default for CacheParams {
 ///
 /// let mut dst = [0u8; 64];
 /// assert_eq!(cache.process_lookup(key, &sig, &mut dst), Lookup::Miss);
-/// cache.finish_miss(key, sig.clone(), &payload); // caller fetched `payload`
+/// cache.finish_miss(key, sig.clone(), &payload, 0); // caller fetched `payload`
 /// cache.epoch_close();                           // PENDING -> CACHED
 ///
 /// assert_eq!(cache.process_lookup(key, &sig, &mut dst), Lookup::Hit);
@@ -199,6 +208,9 @@ pub struct RmaCache {
     /// [`VictimScheme::ExactLru`]. `last` values are unique: each get
     /// touches at most one entry.
     recency: BTreeMap<u64, EntryId>,
+    /// Resident entries per target rank (grown on demand), so coherence
+    /// passes can skip targets with nothing cached in O(1).
+    target_counts: Vec<u32>,
 }
 
 /// One adaptive resize, recorded for figure annotations and debugging.
@@ -239,6 +251,7 @@ impl RmaCache {
             resize_log: Vec::new(),
             last_partial_prefix: 0,
             recency: BTreeMap::new(),
+            target_counts: Vec::new(),
             params,
         }
     }
@@ -306,6 +319,11 @@ impl RmaCache {
     }
 
     fn alloc_entry(&mut self, e: Entry) -> EntryId {
+        let t = e.key.target as usize;
+        if t >= self.target_counts.len() {
+            self.target_counts.resize(t + 1, 0);
+        }
+        self.target_counts[t] += 1;
         if let Some(id) = self.spare.pop() {
             self.entries[id as usize] = Some(e);
             id
@@ -337,6 +355,7 @@ impl RmaCache {
             self.recency.remove(&last);
         }
         let e = self.entries[id as usize].take().expect("double entry drop");
+        self.target_counts[e.key.target as usize] -= 1;
         match e.state {
             EntryState::Cached => self.cached_count -= 1,
             // A PENDING entry can be dropped when a Cuckoo displacement
@@ -344,6 +363,15 @@ impl RmaCache {
             EntryState::Pending => self.pending.retain(|&p| p != id),
         }
         self.spare.push(id);
+    }
+
+    /// Whether any resident (pending or cached) entry is keyed to
+    /// `target`. O(1): lets a coherence pass skip targets with nothing
+    /// cached without scanning the index.
+    pub fn has_entries_for(&self, target: u32) -> bool {
+        self.target_counts
+            .get(target as usize)
+            .is_some_and(|&c| c > 0)
     }
 
     /// Phase 1 of a `get_c`: classify against the index, serving full hits
@@ -418,7 +446,17 @@ impl RmaCache {
 
     /// Phase 2 after a [`Lookup::Miss`]: `data` is the fetched payload;
     /// attempt to cache it. Returns the access classification.
-    pub fn finish_miss(&mut self, key: GetKey, sig: LayoutSig, data: &[u8]) -> AccessType {
+    ///
+    /// `version` is the target-region write version observed *before* the
+    /// payload bytes were read (pass 0 when versions are not tracked); the
+    /// coherence layer uses it to decide staleness later.
+    pub fn finish_miss(
+        &mut self,
+        key: GetKey,
+        sig: LayoutSig,
+        data: &[u8],
+        version: u64,
+    ) -> AccessType {
         let size = sig.size();
         debug_assert_eq!(data.len(), size);
         self.stats.bytes_from_network += size as u64;
@@ -429,6 +467,7 @@ impl RmaCache {
             state: EntryState::Pending,
             desc: NO_DESC,
             last: self.seq,
+            version,
         });
 
         let (inserted, conflicted) = self.insert_with_path_eviction(key, id);
@@ -475,12 +514,23 @@ impl RmaCache {
     /// extend (re-allocate) the existing entry; on failure the old, shorter
     /// entry stays valid (Sec. III-B: "extended only if `S_w` contains
     /// enough space").
-    pub fn finish_partial(&mut self, key: GetKey, sig: LayoutSig, data: &[u8]) -> AccessType {
+    ///
+    /// `version` is the write version observed before the tail fetch; the
+    /// extended entry is stamped with the *older* of its existing version
+    /// and `version` (the head bytes may predate the tail bytes, so the
+    /// conservative choice is the minimum).
+    pub fn finish_partial(
+        &mut self,
+        key: GetKey,
+        sig: LayoutSig,
+        data: &[u8],
+        version: u64,
+    ) -> AccessType {
         let size = sig.size();
         debug_assert_eq!(data.len(), size);
         let Some(id) = self.index.lookup(&key) else {
             // The entry vanished (should not happen between phases).
-            return self.finish_miss(key, sig, data);
+            return self.finish_miss(key, sig, data, version);
         };
         // The wrapper fetched everything beyond the served prefix (which is
         // zero for incompatible layouts).
@@ -509,6 +559,7 @@ impl RmaCache {
                     e.size = size;
                     e.sig = sig;
                     e.state = EntryState::Pending;
+                    e.version = e.version.min(version);
                 }
                 self.cached_count -= 1;
                 self.pending.push(id);
@@ -768,6 +819,72 @@ impl RmaCache {
         dropped
     }
 
+    /// Drops every resident entry keyed to `target` whose stored version
+    /// differs from `version` (the target's current write version, fetched
+    /// by an `EpochValidate` coherence pass); returns how many were
+    /// dropped. Entries already stamped with the current version are
+    /// provably fresh and survive.
+    pub fn invalidate_target_stale(&mut self, target: u32, version: u64) -> usize {
+        if !self.has_entries_for(target) {
+            return 0;
+        }
+        let cap = self.index.capacity();
+        self.charge(self.params.costs.evict_visit_ns * cap as f64);
+        let mut victims = Vec::new();
+        for slot in 0..cap {
+            if let Some((key, id)) = self.index.slot(slot) {
+                if key.target == target && self.entry(id).version != version {
+                    victims.push((slot, id));
+                }
+            }
+        }
+        let dropped = victims.len();
+        for (slot, id) in victims {
+            self.evict_resident(slot, id);
+        }
+        dropped
+    }
+
+    /// Drops every resident entry keyed to `target` that overlaps one of
+    /// the put `ranges` (`(lo, hi, version)`, half-open bytes) *and* was
+    /// filled before that put (`entry.version < version`); returns how
+    /// many were dropped. This is the surgical `EagerInvalidate` path: a
+    /// single index scan checks each resident entry against every drained
+    /// notification record.
+    pub fn invalidate_overlapping_stale(
+        &mut self,
+        target: u32,
+        ranges: &[(u64, u64, u64)],
+    ) -> usize {
+        if ranges.is_empty() || !self.has_entries_for(target) {
+            return 0;
+        }
+        let cap = self.index.capacity();
+        self.charge(self.params.costs.evict_visit_ns * cap as f64);
+        let mut victims = Vec::new();
+        for slot in 0..cap {
+            if let Some((key, id)) = self.index.slot(slot) {
+                if key.target != target {
+                    continue;
+                }
+                let e = self.entry(id);
+                let e_lo = key.disp;
+                let e_hi = key.disp + e.size as u64;
+                let stale = ranges
+                    .iter()
+                    .any(|&(lo, hi, v)| e_lo < hi && lo < e_hi && e.version < v);
+                if stale {
+                    victims.push((slot, id));
+                }
+            }
+        }
+        let dropped = victims.len();
+        for (slot, id) in victims {
+            self.evict_resident(slot, id);
+        }
+        dropped
+    }
+
     /// Drops every cached entry (transparent-mode epoch invalidation,
     /// `CLAMPI_Invalidate`, or an adaptive adjustment).
     pub fn invalidate(&mut self) {
@@ -778,6 +895,7 @@ impl RmaCache {
         self.pending.clear();
         self.cached_count = 0;
         self.deferred_ns = 0.0;
+        self.target_counts.clear();
         self.stats.invalidations += 1;
     }
 
@@ -808,6 +926,7 @@ impl RmaCache {
         self.recency.clear();
         self.cached_count = 0;
         self.deferred_ns = 0.0;
+        self.target_counts.clear();
         self.stats.invalidations += 1;
         self.stats.adjustments += 1;
     }
@@ -887,7 +1006,7 @@ mod tests {
         let sig = LayoutSig::Contig(data.len());
         let mut dst = vec![0u8; data.len()];
         match c.process_lookup(k, &sig, &mut dst) {
-            Lookup::Miss => c.finish_miss(k, sig, data),
+            Lookup::Miss => c.finish_miss(k, sig, data, 0),
             other => panic!("expected miss, got {other:?}"),
         }
     }
@@ -955,7 +1074,7 @@ mod tests {
         }
         dst[100..].copy_from_slice(&big[100..]); // wrapper fetches the tail
         assert_eq!(
-            c.finish_partial(k, LayoutSig::Contig(256), &dst),
+            c.finish_partial(k, LayoutSig::Contig(256), &dst, 0),
             AccessType::Direct
         );
         c.epoch_close();
@@ -1129,7 +1248,7 @@ mod tests {
         let data = vec![5u8; layout.total_size()];
         let mut dst = vec![0u8; data.len()];
         assert_eq!(c.process_lookup(key(2, 0), &sig, &mut dst), Lookup::Miss);
-        c.finish_miss(key(2, 0), sig.clone(), &data);
+        c.finish_miss(key(2, 0), sig.clone(), &data, 0);
         c.epoch_close();
 
         // Exact same layout: hit.

@@ -67,6 +67,7 @@
 pub mod adaptive;
 pub mod blockcache;
 pub mod cache;
+pub mod coherence;
 pub mod costs;
 pub mod eviction;
 pub mod index;
@@ -79,6 +80,7 @@ pub mod window;
 pub use adaptive::{AdaptiveController, AdaptiveParams, AdjustRule, Adjustment};
 pub use blockcache::{BlockCacheConfig, BlockCacheStats, BlockCachedWindow};
 pub use cache::{CacheParams, EntryState, LayoutSig, Lookup, ResizeEvent, RmaCache};
+pub use coherence::CoherenceMode;
 pub use costs::CacheCostModel;
 pub use eviction::VictimScheme;
 pub use index::{CuckooIndex, EntryId, GetKey};

@@ -109,6 +109,17 @@ pub struct CacheStats {
     /// (posted wire time minus time actually spent blocked, saturating).
     /// Approximate: rounded to whole ns and attributed per closure.
     pub overlapped_wire_ns: u64,
+    /// Cache entries dropped by a coherence pass because a remote put
+    /// made (or may have made) them stale — each one a stale hit that can
+    /// no longer happen.
+    pub stale_hits_prevented: u64,
+    /// Put-notification records consumed by `EagerInvalidate` drains.
+    pub notifications_drained: u64,
+    /// Notification-ring overflows observed (each falls back to a full
+    /// per-target invalidation).
+    pub notification_overflows: u64,
+    /// Remote version fetches issued by `EpochValidate` passes.
+    pub version_fetches: u64,
 }
 
 impl CacheStats {
@@ -191,6 +202,10 @@ impl CacheStats {
             coalesced_misses: self.coalesced_misses - earlier.coalesced_misses,
             batched_gets: self.batched_gets - earlier.batched_gets,
             overlapped_wire_ns: self.overlapped_wire_ns - earlier.overlapped_wire_ns,
+            stale_hits_prevented: self.stale_hits_prevented - earlier.stale_hits_prevented,
+            notifications_drained: self.notifications_drained - earlier.notifications_drained,
+            notification_overflows: self.notification_overflows - earlier.notification_overflows,
+            version_fetches: self.version_fetches - earlier.version_fetches,
         }
     }
 
@@ -219,6 +234,10 @@ impl CacheStats {
         self.coalesced_misses += other.coalesced_misses;
         self.batched_gets += other.batched_gets;
         self.overlapped_wire_ns += other.overlapped_wire_ns;
+        self.stale_hits_prevented += other.stale_hits_prevented;
+        self.notifications_drained += other.notifications_drained;
+        self.notification_overflows += other.notification_overflows;
+        self.version_fetches += other.version_fetches;
     }
 }
 
@@ -286,18 +305,30 @@ mod tests {
             coalesced_misses: 7,
             batched_gets: 20,
             overlapped_wire_ns: 5_000,
+            stale_hits_prevented: 9,
+            notifications_drained: 30,
+            notification_overflows: 3,
+            version_fetches: 12,
             ..CacheStats::default()
         };
         let earlier = CacheStats {
             coalesced_misses: 2,
             batched_gets: 5,
             overlapped_wire_ns: 1_000,
+            stale_hits_prevented: 4,
+            notifications_drained: 10,
+            notification_overflows: 1,
+            version_fetches: 2,
             ..CacheStats::default()
         };
         let d = a.delta_since(&earlier);
         assert_eq!(d.coalesced_misses, 5);
         assert_eq!(d.batched_gets, 15);
         assert_eq!(d.overlapped_wire_ns, 4_000);
+        assert_eq!(d.stale_hits_prevented, 5);
+        assert_eq!(d.notifications_drained, 20);
+        assert_eq!(d.notification_overflows, 2);
+        assert_eq!(d.version_fetches, 10);
         let mut m = earlier;
         m.merge(&d);
         assert_eq!(m, a);

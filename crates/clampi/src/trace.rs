@@ -33,9 +33,28 @@ pub enum TraceEvent {
     },
     /// An epoch closure (flush/unlock in the traced run).
     EpochClose,
-    /// An explicit `CLAMPI_Invalidate`.
-    Invalidate,
+    /// An invalidation restricted to the bytes `[disp, disp + len)` of
+    /// `target`'s window — what a coherence pass or a per-target
+    /// degradation performs. A *full* invalidation (`CLAMPI_Invalidate`)
+    /// is the sentinel `target == u32::MAX` (with `disp == 0`,
+    /// `len == u64::MAX`), so legacy target-less traces stay replayable.
+    Invalidate {
+        /// Target rank, or `u32::MAX` for a full invalidation.
+        target: u32,
+        /// First invalidated byte displacement.
+        disp: u64,
+        /// Length of the invalidated range in bytes.
+        len: u64,
+    },
 }
+
+/// The [`TraceEvent::Invalidate`] sentinel for a full (all-targets)
+/// invalidation.
+pub const INVALIDATE_ALL: TraceEvent = TraceEvent::Invalidate {
+    target: u32::MAX,
+    disp: 0,
+    len: u64::MAX,
+};
 
 /// A recorded event stream.
 ///
@@ -61,7 +80,11 @@ pub struct Trace {
     events: Vec<TraceEvent>,
 }
 
-const MAGIC: &[u8; 8] = b"CLAMPITR";
+/// Format version 2: `Invalidate` carries `(target, disp, len)`.
+const MAGIC: &[u8; 8] = b"CLAMPIT2";
+/// Format version 1 (read-only support): `Invalidate` is a bare tag and
+/// always means a full invalidation.
+const MAGIC_V1: &[u8; 8] = b"CLAMPITR";
 const TAG_GET: u8 = 1;
 const TAG_EPOCH: u8 = 2;
 const TAG_INVALIDATE: u8 = 3;
@@ -82,9 +105,18 @@ impl Trace {
         self.events.push(TraceEvent::EpochClose);
     }
 
-    /// Records an explicit invalidation.
+    /// Records an explicit full invalidation (`CLAMPI_Invalidate`).
     pub fn invalidate(&mut self) {
-        self.events.push(TraceEvent::Invalidate);
+        self.events.push(INVALIDATE_ALL);
+    }
+
+    /// Records a per-target ranged invalidation of the bytes
+    /// `[disp, disp + len)` — what a coherence pass emits when it drops
+    /// entries overlapping a drained put record, or a degradation path
+    /// emits with `disp = 0, len = u64::MAX`.
+    pub fn invalidate_range(&mut self, target: u32, disp: u64, len: u64) {
+        self.events
+            .push(TraceEvent::Invalidate { target, disp, len });
     }
 
     /// The recorded events.
@@ -110,9 +142,9 @@ impl Trace {
             .count()
     }
 
-    /// Serializes to the compact binary format.
+    /// Serializes to the compact binary format (version 2).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(16 + self.events.len() * 17);
+        let mut out = Vec::with_capacity(16 + self.events.len() * 21);
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.events.len() as u64).to_le_bytes());
         for e in &self.events {
@@ -124,21 +156,35 @@ impl Trace {
                     out.extend_from_slice(&size.to_le_bytes());
                 }
                 TraceEvent::EpochClose => out.push(TAG_EPOCH),
-                TraceEvent::Invalidate => out.push(TAG_INVALIDATE),
+                TraceEvent::Invalidate { target, disp, len } => {
+                    out.push(TAG_INVALIDATE);
+                    out.extend_from_slice(&target.to_le_bytes());
+                    out.extend_from_slice(&disp.to_le_bytes());
+                    out.extend_from_slice(&len.to_le_bytes());
+                }
             }
         }
         out
     }
 
-    /// Parses the binary format.
+    /// Parses the binary format. Accepts both the current version-2
+    /// layout (`CLAMPIT2`, 20-byte invalidate payload) and the legacy
+    /// version-1 layout (`CLAMPITR`, bare invalidate tag — decoded as a
+    /// full invalidation).
     ///
     /// # Errors
     ///
     /// Returns a description of the first malformed byte sequence.
     pub fn from_bytes(data: &[u8]) -> Result<Self, String> {
-        if data.len() < 16 || &data[..8] != MAGIC {
+        let legacy = if data.len() < 16 {
+            return Err("not a CLaMPI trace (too short)".into());
+        } else if &data[..8] == MAGIC {
+            false
+        } else if &data[..8] == MAGIC_V1 {
+            true
+        } else {
             return Err("not a CLaMPI trace (bad magic)".into());
-        }
+        };
         let count = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
         let mut events = Vec::with_capacity(count);
         let mut at = 16;
@@ -159,7 +205,17 @@ impl Trace {
                     events.push(TraceEvent::Get { target, disp, size });
                 }
                 TAG_EPOCH => events.push(TraceEvent::EpochClose),
-                TAG_INVALIDATE => events.push(TraceEvent::Invalidate),
+                TAG_INVALIDATE if legacy => events.push(INVALIDATE_ALL),
+                TAG_INVALIDATE => {
+                    if data.len() < at + 20 {
+                        return Err(format!("truncated invalidate at event {i}"));
+                    }
+                    let target = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
+                    let disp = u64::from_le_bytes(data[at + 4..at + 12].try_into().unwrap());
+                    let len = u64::from_le_bytes(data[at + 12..at + 20].try_into().unwrap());
+                    at += 20;
+                    events.push(TraceEvent::Invalidate { target, disp, len });
+                }
                 t => return Err(format!("unknown tag {t} at event {i}")),
             }
         }
@@ -241,17 +297,20 @@ pub fn replay(trace: &Trace, params: CacheParams, costs: ReplayCosts) -> ReplayR
                         payload.resize(size, 0);
                         completion_ns += costs.miss_base_ns
                             + (size - cached_len) as f64 * costs.miss_per_byte_ns;
-                        cache.finish_partial(key, sig, &payload);
+                        cache.finish_partial(key, sig, &payload, 0);
                     }
                     Lookup::Miss => {
                         payload.resize(size, 0);
                         completion_ns += costs.miss_base_ns + size as f64 * costs.miss_per_byte_ns;
-                        cache.finish_miss(key, sig, &payload);
+                        cache.finish_miss(key, sig, &payload, 0);
                     }
                 }
             }
             TraceEvent::EpochClose => cache.epoch_close(),
-            TraceEvent::Invalidate => cache.invalidate(),
+            e if e == INVALIDATE_ALL => cache.invalidate(),
+            TraceEvent::Invalidate { target, disp, len } => {
+                cache.invalidate_range(target, disp, disp.saturating_add(len));
+            }
         }
         completion_ns += cache.take_cost();
     }
@@ -313,6 +372,90 @@ mod tests {
         let mut bad_tag = sample_trace().to_bytes();
         bad_tag[16] = 99;
         assert!(Trace::from_bytes(&bad_tag).is_err());
+        // A v2 invalidate must carry its 20-byte payload.
+        let mut t = Trace::new();
+        t.invalidate_range(1, 0, 64);
+        let mut cut = t.to_bytes();
+        cut.truncate(cut.len() - 4);
+        assert!(Trace::from_bytes(&cut).is_err());
+    }
+
+    #[test]
+    fn ranged_invalidates_roundtrip() {
+        let mut t = Trace::new();
+        t.get(2, 128, 64);
+        t.epoch_close();
+        t.invalidate_range(2, 128, 64);
+        t.invalidate_range(7, 0, u64::MAX); // full per-target drop
+        t.invalidate(); // full invalidation sentinel
+        let back = Trace::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(
+            back.events()[2],
+            TraceEvent::Invalidate {
+                target: 2,
+                disp: 128,
+                len: 64
+            }
+        );
+        assert_eq!(back.events()[4], INVALIDATE_ALL);
+    }
+
+    #[test]
+    fn legacy_v1_traces_still_parse() {
+        // Hand-build a v1 stream: one get, one epoch, one bare invalidate.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(b"CLAMPITR");
+        v1.extend_from_slice(&3u64.to_le_bytes());
+        v1.push(TAG_GET);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&256u64.to_le_bytes());
+        v1.extend_from_slice(&128u32.to_le_bytes());
+        v1.push(TAG_EPOCH);
+        v1.push(TAG_INVALIDATE); // bare: no payload in v1
+        let t = Trace::from_bytes(&v1).unwrap();
+        assert_eq!(
+            t.events(),
+            &[
+                TraceEvent::Get {
+                    target: 1,
+                    disp: 256,
+                    size: 128
+                },
+                TraceEvent::EpochClose,
+                INVALIDATE_ALL,
+            ]
+        );
+        // The legacy full invalidation replays as a total cache drop.
+        let r = replay(&t, CacheParams::default(), ReplayCosts::default());
+        assert_eq!(r.stats.invalidations, 1);
+    }
+
+    #[test]
+    fn replay_ranged_invalidation_is_surgical() {
+        // Two cached blocks; invalidating one range must only re-miss the
+        // overlapped block.
+        let mut t = Trace::new();
+        t.get(0, 0, 128);
+        t.get(0, 4096, 128);
+        t.epoch_close();
+        t.invalidate_range(0, 0, 128); // hits only the first block
+        t.get(0, 0, 128); // miss again
+        t.get(0, 4096, 128); // still a hit
+        t.epoch_close();
+        let r = replay(
+            &t,
+            CacheParams {
+                index_entries: 64,
+                storage_bytes: 64 << 10,
+                costs: CacheCostModel::free(),
+                ..CacheParams::default()
+            },
+            ReplayCosts::default(),
+        );
+        assert_eq!(r.stats.total_gets, 4);
+        assert_eq!(r.stats.direct, 3, "the invalidated block re-missed");
+        assert_eq!(r.stats.hits, 1, "the untouched block kept hitting");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use clampi_rma::{LockKind, Process, RmaError, StagedGet, Window};
 
 use crate::adaptive::{AdaptiveController, AdaptiveParams};
 use crate::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
+use crate::coherence::{CoherenceMode, CoherenceTracker};
 use crate::index::GetKey;
 use crate::recovery::{with_retry, RetryPolicy};
 use crate::stats::CacheStats;
@@ -139,6 +140,9 @@ pub struct CachedWindow {
     scratch_layout: FlatLayout,
     /// Reusable packed-payload buffer for [`CachedWindow::get_typed`].
     scratch_buf: Vec<u8>,
+    /// Per-target coherence state (drain cursors, scratch) for
+    /// [`crate::coherence::CoherenceMode`] passes.
+    coherence: CoherenceTracker,
 }
 
 /// A one-block contiguous layout (empty for `len == 0`, matching what
@@ -168,6 +172,7 @@ impl CachedWindow {
         };
         let degraded = vec![false; win.ntargets()];
         let nb_posted_wire = vec![0.0; win.ntargets()];
+        let coherence = CoherenceTracker::new(win.ntargets());
         CachedWindow {
             win,
             cache,
@@ -181,6 +186,60 @@ impl CachedWindow {
             nb_posted_wire,
             scratch_layout: contig(0),
             scratch_buf: Vec::new(),
+            coherence,
+        }
+    }
+
+    /// The configured coherence mode ([`CoherenceMode::None`] when caching
+    /// is disabled).
+    pub fn coherence_mode(&self) -> CoherenceMode {
+        self.cache
+            .as_ref()
+            .map(|c| c.params().coherence)
+            .unwrap_or_default()
+    }
+
+    /// Runs one coherence pass over `target` (`None` = every target) and
+    /// charges the accumulated management cost. No-op when the mode is
+    /// [`CoherenceMode::None`] or caching is disabled.
+    fn coherence_pass(&mut self, p: &mut Process, target: Option<usize>) {
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        if cache.params().coherence == CoherenceMode::None {
+            return;
+        }
+        self.coherence.run_pass(
+            p,
+            &mut self.win,
+            cache,
+            &mut self.fault_stats,
+            &mut self.degraded,
+            &self.retry,
+            target,
+        );
+        let cost = cache.take_cost();
+        p.clock_mut().charge_cpu(cost);
+    }
+
+    /// Forces a coherence pass over every target — the explicit handle for
+    /// applications whose read phases are delimited by barriers rather
+    /// than epoch-opening calls (e.g. in-place PageRank updates: after the
+    /// post-put barrier, `validate` makes the remote writes of the
+    /// finished superstep safe to read through the cache).
+    ///
+    /// With a coherence mode configured this revalidates/drains per mode;
+    /// with [`CoherenceMode::None`] it falls back to a full
+    /// [`CachedWindow::invalidate`] (the only safe answer without version
+    /// tracking); with caching disabled it is a no-op.
+    pub fn validate(&mut self, p: &mut Process) {
+        match self.coherence_mode() {
+            CoherenceMode::None => {
+                if self.cache.is_some() {
+                    self.invalidate(p);
+                }
+            }
+            _ => self.coherence_pass(p, None),
         }
     }
 
@@ -361,6 +420,10 @@ impl CachedWindow {
             disp: disp as u64,
         };
         let sig = LayoutSig::from_layout(layout);
+        // Version stamp for coherence: peeked *before* the payload bytes
+        // are read, so the entry can only look older than it is (a get
+        // response piggybacks the region version at zero model cost).
+        let ver = self.win.version(target);
         // Borrow scope: the engine classification runs with the cache
         // borrowed; abandoned fetches are handled after it is released
         // (an abandoned miss/partial simply never calls `finish_*` — the
@@ -392,12 +455,12 @@ impl CachedWindow {
                             self.win.try_get_flat(p, dst, target, disp, layout)
                         })
                     };
-                    fetched.map(|()| cache.finish_partial(key, sig, dst))
+                    fetched.map(|()| cache.finish_partial(key, sig, dst, ver))
                 }
                 Lookup::Miss => with_retry(p, &self.retry, &mut self.fault_stats, |p| {
                     self.win.try_get_flat(p, dst, target, disp, layout)
                 })
-                .map(|()| cache.finish_miss(key, sig, dst)),
+                .map(|()| cache.finish_miss(key, sig, dst, ver)),
             };
             let cost = cache.take_cost();
             p.clock_mut().charge_cpu(cost);
@@ -492,6 +555,9 @@ impl CachedWindow {
         };
         let sig = LayoutSig::from_layout(layout);
         let mergeable = matches!(sig, LayoutSig::Contig(_));
+        // Same pre-read version peek as the blocking path (keeps the two
+        // paths' cache states bit-identical).
+        let ver = self.win.version(target);
         // Phase 1: classify. Identical engine calls to the blocking path,
         // so classifications and cache state cannot diverge. The engine's
         // CPU cost is left accumulated and charged *after* the match, like
@@ -517,7 +583,7 @@ impl CachedWindow {
                     mergeable,
                 );
                 let cache = self.cache.as_mut().expect("checked above");
-                cache.finish_miss(key, sig, dst)
+                cache.finish_miss(key, sig, dst, ver)
             }),
             Lookup::PartialHit { cached_len } => {
                 let staged = if cached_len > 0 {
@@ -548,7 +614,7 @@ impl CachedWindow {
                         mergeable,
                     );
                     let cache = self.cache.as_mut().expect("checked above");
-                    cache.finish_partial(key, sig, dst)
+                    cache.finish_partial(key, sig, dst, ver)
                 })
             }
         };
@@ -781,27 +847,34 @@ impl CachedWindow {
         }
     }
 
-    /// MPI_Win_flush + cache epoch hook.
+    /// MPI_Win_flush + cache epoch hook (plus a coherence pass over
+    /// `target` — a flush is where the target's newly-visible remote
+    /// writes must stop being served from cache).
     pub fn flush(&mut self, p: &mut Process, target: usize) {
         let posted = self.nb_take_posted(Some(target));
         let blocked0 = p.clock().total_blocked();
         self.win.flush(p, target);
         self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
+        self.coherence_pass(p, Some(target));
     }
 
-    /// MPI_Win_flush_all + cache epoch hook.
+    /// MPI_Win_flush_all + cache epoch hook + coherence pass over every
+    /// target.
     pub fn flush_all(&mut self, p: &mut Process) {
         let posted = self.nb_take_posted(None);
         let blocked0 = p.clock().total_blocked();
         self.win.flush_all(p);
         self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
+        self.coherence_pass(p, None);
     }
 
-    /// MPI_Win_lock.
+    /// MPI_Win_lock (plus a coherence pass over `target`: the new access
+    /// epoch makes remote writes visible).
     pub fn lock(&mut self, p: &mut Process, kind: LockKind, target: usize) {
         self.win.lock(p, kind, target);
+        self.coherence_pass(p, Some(target));
     }
 
     /// MPI_Win_unlock + cache epoch hook.
@@ -813,9 +886,10 @@ impl CachedWindow {
         self.on_epoch_close(p);
     }
 
-    /// MPI_Win_lock_all.
+    /// MPI_Win_lock_all (plus a coherence pass over every target).
     pub fn lock_all(&mut self, p: &mut Process) {
         self.win.lock_all(p);
+        self.coherence_pass(p, None);
     }
 
     /// MPI_Win_unlock_all + cache epoch hook.
@@ -827,13 +901,16 @@ impl CachedWindow {
         self.on_epoch_close(p);
     }
 
-    /// MPI_Win_fence + cache epoch hook.
+    /// MPI_Win_fence + cache epoch hook + coherence pass (a fence both
+    /// closes the old epoch and opens a new one, so the pass runs after
+    /// the hook).
     pub fn fence(&mut self, p: &mut Process) {
         let posted = self.nb_take_posted(None);
         let blocked0 = p.clock().total_blocked();
         self.win.fence(p);
         self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
         self.on_epoch_close(p);
+        self.coherence_pass(p, None);
     }
 
     /// MPI_Win_post (PSCW exposure).
@@ -841,9 +918,13 @@ impl CachedWindow {
         self.win.post(p, accessors);
     }
 
-    /// MPI_Win_start (PSCW access epoch).
+    /// MPI_Win_start (PSCW access epoch, plus a coherence pass over the
+    /// named targets).
     pub fn start(&mut self, p: &mut Process, targets: &[usize]) {
         self.win.start(p, targets);
+        for &t in targets {
+            self.coherence_pass(p, Some(t));
+        }
     }
 
     /// MPI_Win_complete + cache epoch hook (the PSCW epoch closure the

@@ -16,7 +16,7 @@ fn insert(c: &mut RmaCache, k: GetKey, len: usize) -> AccessType {
     let mut dst = vec![0u8; len];
     match c.process_lookup(k, &sig, &mut dst) {
         Lookup::Miss => {
-            let t = c.finish_miss(k, sig, &data);
+            let t = c.finish_miss(k, sig, &data, 0);
             c.epoch_close();
             t
         }
@@ -189,7 +189,7 @@ mod exact_lru {
         let mut dst = vec![0u8; 512];
         match c.process_lookup(k, &sig, &mut dst) {
             Lookup::Miss => {
-                let t = c.finish_miss(k, sig, &data);
+                let t = c.finish_miss(k, sig, &data, 0);
                 c.epoch_close();
                 t
             }

@@ -14,37 +14,52 @@ use crate::netmodel::NetModel;
 use crate::window::{WinShared, Window};
 
 /// Simulation-wide configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SimConfig {
     /// The network/memory cost model (includes the rank placement).
     pub netmodel: NetModel,
     /// Panic on conflicting put/get accesses within one epoch (the MPI-3
-    /// rule the paper's Sec. II relies on). On by default; benchmarks turn
-    /// it off to avoid the bookkeeping cost.
+    /// rule the paper's Sec. II relies on). Off by default; tests enable
+    /// it via [`SimConfig::checked`].
     pub check_conflicts: bool,
     /// `Some` injects faults per the deterministic [`FaultConfig`]
     /// schedule; `None` (the default) is the fault-free simulator,
     /// bit-identical to pre-fault-injection behaviour.
     pub faults: Option<FaultConfig>,
+    /// Capacity of each window region's put-notification ring (see
+    /// [`crate::Window::try_drain_notifications`]). A reader that falls
+    /// more than this many records behind observes an overflow and must
+    /// fall back to full invalidation. `0` disables record retention
+    /// entirely (every drain overflows); version counters still work.
+    pub notify_ring_cap: usize,
+}
+
+/// Default capacity of the per-region put-notification ring.
+pub const DEFAULT_NOTIFY_RING_CAP: usize = 64;
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            netmodel: NetModel::default(),
+            check_conflicts: false,
+            faults: None,
+            notify_ring_cap: DEFAULT_NOTIFY_RING_CAP,
+        }
+    }
 }
 
 impl SimConfig {
     /// The default configuration with conflict checking enabled.
     pub fn checked() -> Self {
         SimConfig {
-            netmodel: NetModel::default(),
             check_conflicts: true,
-            faults: None,
+            ..SimConfig::default()
         }
     }
 
     /// Configuration for benchmarks: no conflict bookkeeping.
     pub fn bench() -> Self {
-        SimConfig {
-            netmodel: NetModel::default(),
-            check_conflicts: false,
-            faults: None,
-        }
+        SimConfig::default()
     }
 
     /// Replaces the cost model.
@@ -56,6 +71,12 @@ impl SimConfig {
     /// Enables fault injection with the given schedule.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Replaces the put-notification ring capacity.
+    pub fn with_notify_ring_cap(mut self, cap: usize) -> Self {
+        self.notify_ring_cap = cap;
         self
     }
 }
@@ -220,8 +241,9 @@ impl Process {
     /// (MPI_Win_allocate). Every rank must call with its own size.
     pub fn win_allocate(&mut self, size: usize) -> Window {
         let sizes = self.allgather(size);
+        let ring_cap = self.shared.config.notify_ring_cap;
         let shared: Arc<WinShared> = if self.rank == 0 {
-            let ws = Arc::new(WinShared::new(sizes));
+            let ws = Arc::new(WinShared::new(sizes, ring_cap));
             self.bcast(0, Some(ws))
         } else {
             self.bcast::<Arc<WinShared>>(0, None)

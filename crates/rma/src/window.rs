@@ -18,6 +18,7 @@
 //! "closes epoch"). [`Window::epoch`] implements exactly that counter; it is
 //! what the caching layer samples as `x.eph`.
 
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use clampi_datatype::{Datatype, FlatLayout};
@@ -42,6 +43,52 @@ pub enum AccumulateOp {
     Max,
 }
 
+/// One remote write recorded on a target's put-notification ring: the
+/// byte range `[disp, disp + len)` of the target's region that `origin`
+/// overwrote, and the region's version counter *after* the write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutRecord {
+    /// The rank that issued the write.
+    pub origin: u32,
+    /// Byte displacement of the written range in the target's region.
+    pub disp: u64,
+    /// Length of the written range in bytes.
+    pub len: u64,
+    /// The target region's version counter after this write.
+    pub version: u64,
+}
+
+/// Modelled wire size of one [`PutRecord`] notification (what the drain
+/// charges per record as a local memcpy).
+const PUT_RECORD_BYTES: usize = 24;
+
+/// Result of draining a target's put-notification ring
+/// ([`Window::try_drain_notifications`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyDrain {
+    /// The target region's version counter at drain time.
+    pub version: u64,
+    /// Number of records appended to the caller's buffer.
+    pub drained: usize,
+    /// The bounded ring evicted records this reader has not seen: the
+    /// lost ranges are unknown, so the caller must fall back to a full
+    /// per-target invalidation. Nothing was appended to the buffer.
+    pub overflowed: bool,
+}
+
+/// A region's monotonic write-version counter plus the bounded ring of
+/// put notifications. One per target region, shared by all ranks.
+#[derive(Debug)]
+struct NotifyRing {
+    /// Monotonic count of writes (put/accumulate/atomics) to the region.
+    version: u64,
+    records: VecDeque<PutRecord>,
+    cap: usize,
+    /// Highest version whose record was evicted from the bounded ring
+    /// (0 = none): a reader whose cursor is below this has lost records.
+    dropped_through: u64,
+}
+
 /// Collectively shared window state: one region per rank.
 #[derive(Debug)]
 pub(crate) struct WinShared {
@@ -49,19 +96,57 @@ pub(crate) struct WinShared {
     pub(crate) locks: LockManager,
     pub(crate) sizes: Vec<usize>,
     pub(crate) pscw: PscwState,
+    notify: Vec<Mutex<NotifyRing>>,
 }
 
 impl WinShared {
-    pub(crate) fn new(sizes: Vec<usize>) -> Self {
+    pub(crate) fn new(sizes: Vec<usize>, notify_ring_cap: usize) -> Self {
         WinShared {
             regions: sizes
                 .iter()
                 .map(|&s| RwLock::new(vec![0u8; s].into_boxed_slice()))
                 .collect(),
             locks: LockManager::new(sizes.len()),
+            notify: sizes
+                .iter()
+                .map(|_| {
+                    Mutex::new(NotifyRing {
+                        version: 0,
+                        records: VecDeque::new(),
+                        cap: notify_ring_cap,
+                        dropped_through: 0,
+                    })
+                })
+                .collect(),
             sizes,
             pscw: PscwState::default(),
         }
+    }
+
+    /// Records one write of `[disp, disp + len)` at `target`: bumps the
+    /// region version and pushes a notification record, evicting the
+    /// oldest record when the bounded ring is full. Called *after* the
+    /// bytes land (see the ordering note on [`Window::version`]).
+    fn note_put(&self, target: usize, origin: usize, disp: u64, len: u64) {
+        let mut ring = sync::lock(&self.notify[target]);
+        ring.version += 1;
+        let version = ring.version;
+        if ring.cap == 0 {
+            // No ring at all: every reader cursor is behind, so every
+            // drain reports overflow (always-full-invalidate semantics).
+            ring.dropped_through = version;
+            return;
+        }
+        if ring.records.len() == ring.cap {
+            let evicted = ring.records.pop_front().expect("cap > 0");
+            ring.dropped_through = evicted.version;
+        }
+        ring.records.push_back(PutRecord {
+            origin: origin as u32,
+            disp,
+            len,
+            version,
+        });
     }
 }
 
@@ -663,6 +748,8 @@ impl Window {
             let mut region = sync::write(&self.shared.regions[target]);
             clampi_datatype::unpack(src, &layout, &mut region[disp..disp + span]);
         }
+        self.shared
+            .note_put(target, self.my_rank, disp as u64, span as u64);
         let cost = p.netmodel().transfer_cost(
             self.my_rank,
             target,
@@ -755,6 +842,8 @@ impl Window {
                 cursor += b.len;
             }
         }
+        self.shared
+            .note_put(target, self.my_rank, disp as u64, span as u64);
         let cost = p.netmodel().transfer_cost(
             self.my_rank,
             target,
@@ -798,6 +887,7 @@ impl Window {
             region[disp..disp + 8].copy_from_slice(&new.to_le_bytes());
             cur
         };
+        self.shared.note_put(target, self.my_rank, disp as u64, 8);
         let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
         p.clock_mut().charge_cpu(cost.cpu_ns);
         // Synchronous round trip: the wire time is paid now.
@@ -835,12 +925,99 @@ impl Window {
             }
             cur
         };
+        if prev == expected {
+            self.shared.note_put(target, self.my_rank, disp as u64, 8);
+        }
         let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
         p.clock_mut().charge_cpu(cost.cpu_ns);
         p.clock_mut().charge_cpu(cost.wire_ns);
         p.counters.puts += 1;
         p.counters.bytes_put += 8;
         prev
+    }
+
+    /// The current version counter of `target`'s region: the number of
+    /// writes (`put`/`accumulate`/atomics) applied to it so far. Local
+    /// stores through [`Window::local_mut`] do *not* bump it — coherence
+    /// covers RMA writers, not out-of-band initialization.
+    ///
+    /// Reading the counter is free in virtual time: the simulator models
+    /// it as piggybacked on get responses (a real implementation ships the
+    /// version in every reply header), which is why a caching layer can
+    /// stamp entries at fill time for free. Use
+    /// [`Window::try_fetch_version`] for an explicitly charged fetch.
+    ///
+    /// **Ordering.** Writers update the region bytes first and bump the
+    /// version after; stamp-then-copy readers therefore can only stamp an
+    /// entry *older* than the bytes it holds — conservative (at worst an
+    /// unnecessary invalidation later), never stale-marked-fresh.
+    pub fn version(&self, target: usize) -> u64 {
+        sync::lock(&self.shared.notify[target]).version
+    }
+
+    /// Fetches `target`'s region version counter as a synchronous 8-byte
+    /// round trip. Like [`Window::fetch_and_op`], the result steers
+    /// control flow, so the wire time is charged immediately rather than
+    /// left outstanding. Fault-gated: transient faults and dead targets
+    /// surface as typed errors with only their detection cost charged.
+    pub fn try_fetch_version(&mut self, p: &mut Process, target: usize) -> Result<u64, RmaError> {
+        let spike = self.fault_gate(p, target)?;
+        let v = sync::lock(&self.shared.notify[target]).version;
+        let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
+        p.clock_mut().charge_cpu(cost.cpu_ns);
+        p.clock_mut().charge_cpu(cost.wire_ns * spike);
+        p.counters.gets += 1;
+        p.counters.bytes_get += 8;
+        Ok(v)
+    }
+
+    /// Drains `target`'s put-notification ring past `cursor` (the version
+    /// through which this reader has already observed notifications):
+    /// appends every record with `version > cursor` to `out` and reports
+    /// the region's current version.
+    ///
+    /// If the bounded ring evicted records the caller has not seen, the
+    /// drain reports `overflowed` and appends nothing — the lost ranges
+    /// are unknown, so the caller must fall back to a full per-target
+    /// invalidation.
+    ///
+    /// Cost: notification records travel with the epoch's put traffic
+    /// (Active Access-style piggybacking), so the drain charges only
+    /// local CPU — one issue overhead plus a record-sized memcpy per
+    /// drained record. Fault-gated like any operation observing the
+    /// target: a dead target's pending notifications are unreachable and
+    /// the caller must degrade, not silently drop them.
+    pub fn try_drain_notifications(
+        &mut self,
+        p: &mut Process,
+        target: usize,
+        cursor: u64,
+        out: &mut Vec<PutRecord>,
+    ) -> Result<NotifyDrain, RmaError> {
+        self.fault_gate(p, target)?;
+        let (version, drained, overflowed) = {
+            let ring = sync::lock(&self.shared.notify[target]);
+            if ring.dropped_through > cursor {
+                (ring.version, 0usize, true)
+            } else {
+                let mut n = 0usize;
+                for r in ring.records.iter() {
+                    if r.version > cursor {
+                        out.push(*r);
+                        n += 1;
+                    }
+                }
+                (ring.version, n, false)
+            }
+        };
+        let per_record = p.netmodel().memcpy_cost(PUT_RECORD_BYTES);
+        let drain_cpu = p.netmodel().issue_overhead_ns + drained as f64 * per_record;
+        p.clock_mut().charge_cpu(drain_cpu);
+        Ok(NotifyDrain {
+            version,
+            drained,
+            overflowed,
+        })
     }
 
     fn close_epoch(&mut self) {

@@ -1,0 +1,185 @@
+//! Unit tests for the coherence primitives at the simulator layer:
+//! per-target window version counters and the bounded put-notification
+//! ring (see `clampi-rma`'s window module and `docs/INTERNALS.md`
+//! § Coherence).
+
+use clampi_datatype::Datatype;
+use clampi_rma::{run, AccumulateOp, PutRecord, SimConfig};
+
+#[test]
+fn versions_bump_on_every_write_kind() {
+    run(SimConfig::checked(), 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            assert_eq!(win.version(1), 0, "fresh window starts at version 0");
+
+            win.put(p, &[7u8; 8], 1, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            assert_eq!(win.version(1), 1);
+
+            win.accumulate(
+                p,
+                &[1u8; 8],
+                1,
+                8,
+                &Datatype::bytes(8),
+                1,
+                AccumulateOp::Sum,
+            );
+            win.flush(p, 1);
+            assert_eq!(win.version(1), 2);
+
+            win.fetch_and_op(p, 1, 16, 5, |a, b| a + b);
+            assert_eq!(win.version(1), 3);
+
+            // A failed compare does not publish a write...
+            let prev = win.compare_and_swap(p, 1, 16, 999, 111);
+            assert_eq!(prev, 5);
+            assert_eq!(win.version(1), 3, "failed CAS must not bump the version");
+            // ...a successful one does.
+            let prev = win.compare_and_swap(p, 1, 16, 5, 111);
+            assert_eq!(prev, 5);
+            assert_eq!(win.version(1), 4);
+
+            // Reads never bump anything.
+            let mut buf = [0u8; 8];
+            win.get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            assert_eq!(win.version(1), 4);
+            win.unlock_all(p);
+        }
+        p.barrier();
+        // The owner sees the same counter, locally and for free.
+        if p.rank() == 1 {
+            assert_eq!(win.version(1), 4);
+            assert_eq!(win.version(0), 0, "untouched target stays at 0");
+        }
+        p.barrier();
+    });
+}
+
+#[test]
+fn fetch_version_matches_peek_and_pays_a_round_trip() {
+    run(SimConfig::checked(), 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            win.put(p, &[1u8; 4], 1, 0, &Datatype::bytes(4), 1);
+            win.flush(p, 1);
+            let gets_before = p.counters().gets;
+            let bytes_before = p.counters().bytes_get;
+            let t0 = p.now();
+            let v = win.try_fetch_version(p, 1).unwrap();
+            assert_eq!(v, win.version(1));
+            assert_eq!(p.counters().gets, gets_before + 1);
+            assert_eq!(p.counters().bytes_get, bytes_before + 8);
+            assert!(p.now() > t0, "a version fetch is not free");
+            win.unlock_all(p);
+        }
+        p.barrier();
+    });
+}
+
+#[test]
+fn drain_returns_records_after_cursor_and_tracks_overflow() {
+    let cfg = SimConfig::checked().with_notify_ring_cap(4);
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(256);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            for i in 0..3u64 {
+                win.put(
+                    p,
+                    &[i as u8; 16],
+                    1,
+                    16 * i as usize,
+                    &Datatype::bytes(16),
+                    1,
+                );
+            }
+            win.flush(p, 1);
+
+            let mut out = Vec::new();
+            let d = win.try_drain_notifications(p, 1, 0, &mut out).unwrap();
+            assert!(!d.overflowed);
+            assert_eq!(d.version, 3);
+            assert_eq!(d.drained, 3);
+            assert_eq!(
+                out,
+                vec![
+                    PutRecord {
+                        origin: 0,
+                        disp: 0,
+                        len: 16,
+                        version: 1
+                    },
+                    PutRecord {
+                        origin: 0,
+                        disp: 16,
+                        len: 16,
+                        version: 2
+                    },
+                    PutRecord {
+                        origin: 0,
+                        disp: 32,
+                        len: 16,
+                        version: 3
+                    },
+                ]
+            );
+
+            // Cursor semantics: an up-to-date cursor drains nothing.
+            out.clear();
+            let d = win.try_drain_notifications(p, 1, 3, &mut out).unwrap();
+            assert_eq!((d.drained, d.overflowed), (0, false));
+            assert!(out.is_empty());
+
+            // 5 more puts through a 4-slot ring push the oldest record
+            // out: a cursor at 3 has lost version 4 — overflow — while
+            // a cursor inside the retained tail is still fine.
+            for i in 0..5u64 {
+                win.put(p, &[0xAA; 8], 1, 8 * i as usize, &Datatype::bytes(8), 1);
+            }
+            win.flush(p, 1);
+            out.clear();
+            let d = win.try_drain_notifications(p, 1, 3, &mut out).unwrap();
+            assert!(d.overflowed, "a dropped-past cursor must report overflow");
+            assert_eq!(d.version, 8);
+            out.clear();
+            let d = win.try_drain_notifications(p, 1, 4, &mut out).unwrap();
+            assert!(!d.overflowed);
+            assert_eq!(d.drained, 4, "versions 5..=8 are retained");
+            assert_eq!(out.first().map(|r| r.version), Some(5));
+            win.unlock_all(p);
+        }
+        p.barrier();
+    });
+}
+
+#[test]
+fn zero_capacity_ring_always_overflows_behind_writes() {
+    let cfg = SimConfig::checked().with_notify_ring_cap(0);
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            let mut out = Vec::new();
+            // No writes yet: nothing lost, nothing to report.
+            let d = win.try_drain_notifications(p, 1, 0, &mut out).unwrap();
+            assert!(!d.overflowed);
+            win.put(p, &[1u8; 8], 1, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            let d = win.try_drain_notifications(p, 1, 0, &mut out).unwrap();
+            assert!(d.overflowed, "cap 0 must overflow as soon as a put lands");
+            assert_eq!(d.version, 1);
+            assert!(out.is_empty());
+            win.unlock_all(p);
+        }
+        p.barrier();
+    });
+}

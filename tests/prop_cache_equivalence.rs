@@ -208,10 +208,10 @@ fn engine_accounting_is_coherent() {
             let mut dst = vec![0u8; a.len];
             match c.process_lookup(key, &sig, &mut dst) {
                 Lookup::Miss => {
-                    c.finish_miss(key, sig, &data);
+                    c.finish_miss(key, sig, &data, 0);
                 }
                 Lookup::PartialHit { .. } => {
-                    c.finish_partial(key, sig, &data);
+                    c.finish_partial(key, sig, &data, 0);
                 }
                 Lookup::Hit => {}
             }
