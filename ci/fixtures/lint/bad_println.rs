@@ -1,0 +1,7 @@
+//! Self-test fixture: stdout chatter in library code.
+//! xlint --self-test expects EXACTLY 1 [no-println] violation here
+//! (and nothing else). Not compiled: `ci/` is outside the workspace.
+
+pub fn noisy(epoch: u64) {
+    println!("library crates must stay quiet (epoch {epoch})");
+}

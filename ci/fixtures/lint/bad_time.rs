@@ -1,0 +1,10 @@
+//! Self-test fixture: wall-clock time in simulation-path code.
+//! xlint --self-test expects EXACTLY 2 [no-std-time] violations here
+//! (and nothing else). Not compiled: `ci/` is outside the workspace.
+
+use std::time::Instant;
+
+pub fn measure() -> bool {
+    let t = std::time::SystemTime::now();
+    t.elapsed().is_ok()
+}

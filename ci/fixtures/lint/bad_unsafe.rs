@@ -1,0 +1,7 @@
+//! Self-test fixture: an `unsafe` block with no `// SAFETY:` comment.
+//! xlint --self-test expects EXACTLY 1 [safety-comment] violation here
+//! (and nothing else). Not compiled: `ci/` is outside the workspace.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//! Self-test fixture: panicking extractors in library code.
+//! xlint --self-test expects EXACTLY 2 [no-unwrap] violations here
+//! (and nothing else). Not compiled: `ci/` is outside the workspace.
+
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn second(r: Result<u32, ()>) -> u32 {
+    r.expect("fixture offender")
+}

@@ -1,0 +1,37 @@
+//! Self-test fixture: every construction here is LEGAL — xlint
+//! --self-test expects ZERO violations. Each item exercises one way a
+//! naive lint would false-positive: prose in comments and strings,
+//! explicit escapes, documented unsafe, and test-only code.
+//! Not compiled: `ci/` is outside the workspace.
+
+/// Doc comments may say .unwrap() or unsafe or Instant freely.
+pub fn quoted() -> &'static str {
+    "strings may say .unwrap() or println! or unsafe too"
+}
+
+pub fn escaped_panics(v: Option<u32>) -> u32 {
+    v.unwrap() // xlint: allow(no-unwrap) fixture exercises the same-line escape
+}
+
+pub fn escaped_clock() -> bool {
+    // xlint: allow(no-std-time) fixture exercises the line-above escape
+    std::time::Instant::now().elapsed().as_nanos() == 0
+}
+
+pub fn documented_unsafe() -> i32 {
+    let x = 5i32;
+    let p = &x as *const i32;
+    // SAFETY: `p` points at the live, aligned, initialized local `x`.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_print() {
+        let v: Option<u32> = Some(2);
+        assert_eq!(v.unwrap(), 2);
+        println!("test output is fine");
+        let _t = std::time::Instant::now();
+    }
+}

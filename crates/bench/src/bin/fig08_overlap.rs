@@ -169,4 +169,5 @@ fn main() {
     meta(&format!("PERF nonblocking_total_ns {:.1}", totals[1]));
     meta(&format!("PERF coalescing_total_ns {:.1}", totals[2]));
     meta(&format!("PERF coal_speedup_at_max {last_coal_speedup:.4}"));
+    clampi_bench::cli::san_summary();
 }

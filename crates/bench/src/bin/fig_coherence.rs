@@ -267,4 +267,5 @@ fn main() {
     meta(&format!(
         "PERF eager_hit_ratio_low_rate {eager_low_rate_hits:.4}"
     ));
+    clampi_bench::cli::san_summary();
 }

@@ -256,6 +256,7 @@ fn main() {
         write_json(&json_path, gets, seed, &sweep, &rank_fail).expect("write json report");
         meta(&format!("json report written to {json_path}"));
     }
+    clampi_bench::cli::san_summary();
 }
 
 #[cfg(test)]

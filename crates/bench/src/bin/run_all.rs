@@ -6,9 +6,11 @@
 //! - `--only a,b,c` — run only the named binaries;
 //! - `--json <path>` — write a machine-readable summary: one JSON object
 //!   per binary per line (`{"name":...,"wall_ms":...,"lines":...,
-//!   "perf":{...}}`), with `perf` harvested from `# PERF <key> <value>`
-//!   lines in the binary's stdout. CI's perf-gate stage diffs this
-//!   against the committed baseline.
+//!   "san_diags":...,"perf":{...}}`), with `perf` harvested from
+//!   `# PERF <key> <value>` lines in the binary's stdout and `san_diags`
+//!   from its `# SAN diags <n>` RMASAN summary (0 when the binary prints
+//!   none). CI's perf-gate stage diffs the perf keys against the
+//!   committed baseline; bench-smoke asserts every `san_diags` is 0.
 //!
 //! All other flags are forwarded to every binary (e.g. `--paper`,
 //! `--seed 7`).
@@ -39,6 +41,17 @@ const BINARIES: &[&str] = &[
     "abl_exact_lru",
     "trace_tune",
 ];
+
+/// Extracts the `# SAN diags <n>` count emitted by binaries that print an
+/// RMASAN summary; 0 when absent (sanitizer off or binary predates it).
+fn harvest_san(stdout: &str) -> u64 {
+    stdout
+        .lines()
+        .filter_map(|l| l.strip_prefix("# SAN diags "))
+        .filter_map(|v| v.trim().parse().ok())
+        .next_back()
+        .unwrap_or(0)
+}
 
 /// Extracts `(key, value)` pairs from `# PERF <key> <value>` stdout lines.
 fn harvest_perf(stdout: &str) -> Vec<(String, String)> {
@@ -149,9 +162,10 @@ fn main() {
                     let _ = write!(perf_obj, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
                 }
             }
+            let san_diags = harvest_san(&stdout);
             let _ = writeln!(
                 json_lines,
-                "{{\"name\":\"{}\",\"wall_ms\":{wall_ms:.1},\"lines\":{lines},\"perf\":{{{perf_obj}}}}}",
+                "{{\"name\":\"{}\",\"wall_ms\":{wall_ms:.1},\"lines\":{lines},\"san_diags\":{san_diags},\"perf\":{{{perf_obj}}}}}",
                 json_escape(name)
             );
         }

@@ -78,6 +78,15 @@ pub fn meta(line: &str) {
     println!("# {line}");
 }
 
+/// Prints the RMASAN summary line (`# SAN diags <n>`) that `run_all
+/// --json` harvests into each entry's `san_diags` key. The count is the
+/// process-wide total of sanitizer diagnostics; a clean run — and any
+/// run without `CLAMPI_SAN=1` — prints 0. CI's bench-smoke stage asserts
+/// the harvested values stay 0.
+pub fn san_summary() {
+    meta(&format!("SAN diags {}", clampi_rma::check::total_diags()));
+}
+
 /// Prints a TSV row.
 pub fn row<S: std::fmt::Display>(cells: &[S]) {
     let joined: Vec<String> = cells.iter().map(|c| c.to_string()).collect();

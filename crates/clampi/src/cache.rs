@@ -311,10 +311,12 @@ impl RmaCache {
     }
 
     fn entry(&self, id: EntryId) -> &Entry {
+        // xlint: allow(no-unwrap) invariant: ids are only handed out for live slots
         self.entries[id as usize].as_ref().expect("stale entry id")
     }
 
     fn entry_mut(&mut self, id: EntryId) -> &mut Entry {
+        // xlint: allow(no-unwrap) invariant: ids are only handed out for live slots
         self.entries[id as usize].as_mut().expect("stale entry id")
     }
 
@@ -354,6 +356,7 @@ impl RmaCache {
             let last = self.entry(id).last;
             self.recency.remove(&last);
         }
+        // xlint: allow(no-unwrap) invariant: callers drop an id at most once
         let e = self.entries[id as usize].take().expect("double entry drop");
         self.target_counts[e.key.target as usize] -= 1;
         match e.state {

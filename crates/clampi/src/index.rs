@@ -244,6 +244,7 @@ impl CuckooIndex {
             let choice = self.rng.gen_range(0..NUM_HASHES);
             let i = self.hashers[choice].hash(x, m);
             path.push(i);
+            // xlint: allow(no-unwrap) invariant: the all-occupied branch was just checked
             let displaced = self.slots[i].replace(cur).expect("slot checked occupied");
             self.fps[i] = fingerprint(x);
             cur = displaced;

@@ -74,6 +74,7 @@ impl FreeTree {
     }
 
     fn rotate_right(&mut self, y: NodeId) -> NodeId {
+        // xlint: allow(no-unwrap) invariant: rotation is only requested on a left-heavy node
         let x = self.node(y).left.expect("rotate_right needs a left child");
         let t2 = self.node(x).right;
         self.node_mut(x).right = Some(y);
@@ -84,6 +85,7 @@ impl FreeTree {
     }
 
     fn rotate_left(&mut self, x: NodeId) -> NodeId {
+        // xlint: allow(no-unwrap) invariant: rotation is only requested on a right-heavy node
         let y = self.node(x).right.expect("rotate_left needs a right child");
         let t2 = self.node(y).left;
         self.node_mut(y).left = Some(x);
@@ -97,14 +99,14 @@ impl FreeTree {
         self.update_height(id);
         let bf = self.balance_factor(id);
         if bf > 1 {
-            let l = self.node(id).left.unwrap();
+            let l = self.node(id).left.unwrap(); // xlint: allow(no-unwrap) bf > 1 implies a left child
             if self.balance_factor(l) < 0 {
                 let nl = self.rotate_left(l);
                 self.node_mut(id).left = Some(nl);
             }
             self.rotate_right(id)
         } else if bf < -1 {
-            let r = self.node(id).right.unwrap();
+            let r = self.node(id).right.unwrap(); // xlint: allow(no-unwrap) bf < -1 implies a right child
             if self.balance_factor(r) > 0 {
                 let nr = self.rotate_right(r);
                 self.node_mut(id).right = Some(nr);

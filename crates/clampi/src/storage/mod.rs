@@ -151,6 +151,7 @@ impl Storage {
             if pd.kind == DescKind::Free {
                 self.tree
                     .remove(pd.len, pd.offset)
+                    // xlint: allow(no-unwrap) invariant: every Free desc has a tree node
                     .expect("free neighbour missing from tree");
                 offset = pd.offset;
                 len += pd.len;
@@ -163,6 +164,7 @@ impl Storage {
             if nd.kind == DescKind::Free {
                 self.tree
                     .remove(nd.len, nd.offset)
+                    // xlint: allow(no-unwrap) invariant: every Free desc has a tree node
                     .expect("free neighbour missing from tree");
                 len += nd.len;
                 self.descs.remove(n);

@@ -89,6 +89,22 @@ const TAG_GET: u8 = 1;
 const TAG_EPOCH: u8 = 2;
 const TAG_INVALIDATE: u8 = 3;
 
+/// Reads a little-endian `u32` at `data[at..at + 4]`; the caller has
+/// already length-checked the slice.
+fn le32(data: &[u8], at: usize) -> u32 {
+    let mut b = [0u8; 4];
+    b.copy_from_slice(&data[at..at + 4]);
+    u32::from_le_bytes(b)
+}
+
+/// Reads a little-endian `u64` at `data[at..at + 8]`; the caller has
+/// already length-checked the slice.
+fn le64(data: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
 impl Trace {
     /// An empty trace.
     pub fn new() -> Self {
@@ -185,7 +201,7 @@ impl Trace {
         } else {
             return Err("not a CLaMPI trace (bad magic)".into());
         };
-        let count = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+        let count = le64(data, 8) as usize;
         let mut events = Vec::with_capacity(count);
         let mut at = 16;
         for i in 0..count {
@@ -198,9 +214,9 @@ impl Trace {
                     if data.len() < at + 16 {
                         return Err(format!("truncated get at event {i}"));
                     }
-                    let target = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
-                    let disp = u64::from_le_bytes(data[at + 4..at + 12].try_into().unwrap());
-                    let size = u32::from_le_bytes(data[at + 12..at + 16].try_into().unwrap());
+                    let target = le32(data, at);
+                    let disp = le64(data, at + 4);
+                    let size = le32(data, at + 12);
                     at += 16;
                     events.push(TraceEvent::Get { target, disp, size });
                 }
@@ -210,9 +226,9 @@ impl Trace {
                     if data.len() < at + 20 {
                         return Err(format!("truncated invalidate at event {i}"));
                     }
-                    let target = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
-                    let disp = u64::from_le_bytes(data[at + 4..at + 12].try_into().unwrap());
-                    let len = u64::from_le_bytes(data[at + 12..at + 20].try_into().unwrap());
+                    let target = le32(data, at);
+                    let disp = le64(data, at + 4);
+                    let len = le64(data, at + 12);
                     at += 20;
                     events.push(TraceEvent::Invalidate { target, disp, len });
                 }

@@ -430,7 +430,7 @@ impl CachedWindow {
         // engine allocates entries only in those calls, so no cleanup is
         // needed).
         let outcome: Result<crate::AccessType, RmaError> = {
-            let cache = self.cache.as_mut().expect("checked above");
+            let cache = self.cache.as_mut().expect("checked above"); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
             let outcome = match cache.process_lookup(key, &sig, dst) {
                 Lookup::Hit => Ok(crate::AccessType::Hit),
                 Lookup::PartialHit { cached_len } => {
@@ -565,7 +565,7 @@ impl CachedWindow {
         // delay every posted completion by the lookup cost and make the
         // nonblocking path slower than blocking.
         let looked_up = {
-            let cache = self.cache.as_mut().expect("checked above");
+            let cache = self.cache.as_mut().expect("checked above"); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
             cache.process_lookup(key, &sig, dst)
         };
         let outcome: Result<crate::AccessType, RmaError> = match looked_up {
@@ -582,7 +582,7 @@ impl CachedWindow {
                     staged,
                     mergeable,
                 );
-                let cache = self.cache.as_mut().expect("checked above");
+                let cache = self.cache.as_mut().expect("checked above"); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
                 cache.finish_miss(key, sig, dst, ver)
             }),
             Lookup::PartialHit { cached_len } => {
@@ -613,12 +613,12 @@ impl CachedWindow {
                         st,
                         mergeable,
                     );
-                    let cache = self.cache.as_mut().expect("checked above");
+                    let cache = self.cache.as_mut().expect("checked above"); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
                     cache.finish_partial(key, sig, dst, ver)
                 })
             }
         };
-        let cost = self.cache.as_mut().expect("checked above").take_cost();
+        let cost = self.cache.as_mut().expect("checked above").take_cost(); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
         p.clock_mut().charge_cpu(cost);
         Some(match outcome {
             Ok(class) => class,

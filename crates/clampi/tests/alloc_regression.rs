@@ -25,14 +25,23 @@ thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: pure delegation — every `GlobalAlloc` obligation is forwarded
+// verbatim to the `System` allocator, which upholds them.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: contract inherited from `GlobalAlloc::alloc` (the caller
+    // guarantees a nonzero-size `layout`); the body only bumps a
+    // thread-local counter before delegating.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         // `try_with` keeps the allocator safe during TLS teardown.
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: the same `layout` the caller vouched for, passed through.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: contract inherited from `GlobalAlloc::dealloc` (the caller
+    // guarantees `ptr` came from this allocator with this `layout`).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: the `ptr`/`layout` pair is passed through unchanged.
         unsafe { System.dealloc(ptr, layout) }
     }
 }

@@ -147,17 +147,26 @@ fn run_schedule(s: &Schedule, coherence: Option<CoherenceMode>) -> Run {
             p.barrier();
 
             // Update phase: both ranks draw the schedule; only rank 1
-            // puts (into its own region).
+            // puts (into its own region). The draw is with replacement,
+            // but MPI-3 forbids overlapping puts within one epoch even
+            // from a single origin (RMASAN flags them), so each touched
+            // record is put once, at its final version for the round.
+            let mut touched: Vec<usize> = Vec::new();
             for _ in 0..s.updates_per_round {
                 let r = schedule.gen_range(0..s.records);
                 versions[r] += 1;
-                if rank == 1 {
+                if !touched.contains(&r) {
+                    touched.push(r);
+                }
+            }
+            if rank == 1 {
+                for &r in &touched {
                     let val = vec![pattern_byte(r, versions[r]); SIZE];
                     win.put(p, &val, 1, r * SIZE, &dtype, 1);
                 }
-            }
-            if rank == 1 && s.updates_per_round > 0 {
-                win.flush(p, 1);
+                if !touched.is_empty() {
+                    win.flush(p, 1);
+                }
             }
             p.barrier();
 

@@ -176,8 +176,10 @@ impl Exchange {
             let slots = sync::lock(&self.slots);
             slots[&seq][root]
                 .as_ref()
+                // xlint: allow(no-unwrap) invariant: the barrier above guarantees the root deposited
                 .expect("root value missing")
                 .downcast_ref::<T>()
+                // xlint: allow(no-unwrap) invariant: all ranks call bcast with the same T
                 .expect("type mismatch in broadcast")
                 .clone()
         };

@@ -56,6 +56,7 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod clock;
 pub mod collectives;
 pub mod fault;
@@ -66,6 +67,7 @@ mod sync;
 pub mod topology;
 pub mod window;
 
+pub use check::{AccessKind, CheckerConfig, SanDiag, SanHandle, SanKind};
 pub use clock::Clock;
 pub use fault::{FaultConfig, FaultDecision, FaultPlan, RankFailure, RmaError};
 pub use netmodel::{NetModel, TransferCost};

@@ -12,6 +12,7 @@
 
 use std::sync::{Condvar, Mutex};
 
+use crate::check::{vc_join, SanCtx};
 use crate::sync;
 
 /// Lock mode for [`LockManager::lock`], mirroring `MPI_LOCK_SHARED` /
@@ -28,6 +29,15 @@ pub enum LockKind {
 struct TargetLockState {
     shared_holders: usize,
     exclusive_held: bool,
+    /// RMASAN only: vector clock published by the last *exclusive*
+    /// release. A later shared acquire joins this — shared readers are
+    /// ordered after the writer that preceded them, but not after each
+    /// other.
+    excl_release_vc: Vec<u64>,
+    /// RMASAN only: join of the clocks of *every* release. A later
+    /// exclusive acquire joins this — the writer is ordered after all
+    /// prior holders, shared or exclusive.
+    all_release_vc: Vec<u64>,
 }
 
 /// Per-target passive locks for one window.
@@ -52,6 +62,14 @@ impl LockManager {
     ///
     /// Panics if `target` is out of range.
     pub fn lock(&self, kind: LockKind, target: usize) {
+        self.lock_hb(kind, target, None);
+    }
+
+    /// [`Self::lock`] plus the RMASAN happens-before edge: when a checker
+    /// context is supplied, the acquirer joins the release clock(s) of
+    /// the holders it is ordered after (shared joins the last exclusive
+    /// release; exclusive joins every prior release).
+    pub(crate) fn lock_hb(&self, kind: LockKind, target: usize, san: Option<&mut SanCtx>) {
         let (m, cv) = &self.targets[target];
         let mut st = sync::lock(m);
         match kind {
@@ -68,6 +86,13 @@ impl LockManager {
                 st.exclusive_held = true;
             }
         }
+        if let Some(san) = san {
+            match kind {
+                LockKind::Shared => san.join(&st.excl_release_vc),
+                LockKind::Exclusive => san.join(&st.all_release_vc),
+            }
+            san.tick();
+        }
     }
 
     /// Releases a previously acquired lock on `target`.
@@ -77,29 +102,61 @@ impl LockManager {
     /// Panics if no lock is held on `target` (an unlock without a matching
     /// lock is an MPI usage error).
     pub fn unlock(&self, target: usize) {
+        self.unlock_hb(target, None);
+    }
+
+    /// [`Self::unlock`] plus the RMASAN happens-before edge: when a
+    /// checker context is supplied, the releaser publishes its clock for
+    /// later acquirers to join (see [`Self::lock_hb`]).
+    pub(crate) fn unlock_hb(&self, target: usize, san: Option<&mut SanCtx>) {
         let (m, cv) = &self.targets[target];
         let mut st = sync::lock(m);
-        if st.exclusive_held {
+        let was_exclusive = if st.exclusive_held {
             st.exclusive_held = false;
+            true
         } else if st.shared_holders > 0 {
             st.shared_holders -= 1;
+            false
         } else {
             panic!("unlock({target}) without a matching lock");
+        };
+        if let Some(san) = san {
+            if st.all_release_vc.len() < san.vc.len() {
+                st.all_release_vc.resize(san.vc.len(), 0);
+            }
+            vc_join(&mut st.all_release_vc, &san.vc);
+            if was_exclusive {
+                if st.excl_release_vc.len() < san.vc.len() {
+                    st.excl_release_vc.resize(san.vc.len(), 0);
+                }
+                vc_join(&mut st.excl_release_vc, &san.vc);
+            }
+            san.tick();
         }
         cv.notify_all();
     }
 
     /// Acquires a shared lock on every target (MPI_Win_lock_all).
     pub fn lock_all(&self) {
+        self.lock_all_hb(None);
+    }
+
+    /// [`Self::lock_all`] with the per-target RMASAN edges.
+    pub(crate) fn lock_all_hb(&self, mut san: Option<&mut SanCtx>) {
         for t in 0..self.targets.len() {
-            self.lock(LockKind::Shared, t);
+            self.lock_hb(LockKind::Shared, t, san.as_deref_mut());
         }
     }
 
     /// Releases the shared lock on every target (MPI_Win_unlock_all).
     pub fn unlock_all(&self) {
+        self.unlock_all_hb(None);
+    }
+
+    /// [`Self::unlock_all`] with the per-target RMASAN edges.
+    pub(crate) fn unlock_all_hb(&self, mut san: Option<&mut SanCtx>) {
         for t in 0..self.targets.len() {
-            self.unlock(t);
+            self.unlock_hb(t, san.as_deref_mut());
         }
     }
 

@@ -7,11 +7,18 @@
 
 use std::sync::Arc;
 
+use crate::check::{self, CheckerConfig, SanCtx};
 use crate::clock::Clock;
 use crate::collectives::{Exchange, ReduceBarrier};
 use crate::fault::{FaultConfig, FaultDecision, FaultPlan};
 use crate::netmodel::NetModel;
 use crate::window::{WinShared, Window};
+
+/// Namespace bit for the RMASAN vector-clock exchanges: the checker's
+/// collectives share the application [`Exchange`] but must never collide
+/// with application sequence numbers, so they live in the top half of the
+/// sequence space.
+const SAN_SEQ_BIT: u64 = 1 << 63;
 
 /// Simulation-wide configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +39,13 @@ pub struct SimConfig {
     /// fall back to full invalidation. `0` disables record retention
     /// entirely (every drain overflows); version counters still work.
     pub notify_ring_cap: usize,
+    /// `Some` enables RMASAN, the runtime MPI-3 RMA semantics sanitizer
+    /// (see [`crate::check`]). `None` (the default) defers to the
+    /// `CLAMPI_SAN` environment variable: when set, [`run`] installs a
+    /// collecting checker and asserts zero diagnostics at the end of the
+    /// run. The checker is observation-only — it never charges virtual
+    /// time, so clean runs are bit-identical with it on or off.
+    pub checker: Option<CheckerConfig>,
 }
 
 /// Default capacity of the per-region put-notification ring.
@@ -44,6 +58,7 @@ impl Default for SimConfig {
             check_conflicts: false,
             faults: None,
             notify_ring_cap: DEFAULT_NOTIFY_RING_CAP,
+            checker: None,
         }
     }
 }
@@ -79,6 +94,13 @@ impl SimConfig {
         self.notify_ring_cap = cap;
         self
     }
+
+    /// Enables RMASAN with the given reporting mode (see
+    /// [`CheckerConfig::fail_fast`] and [`CheckerConfig::collect`]).
+    pub fn with_checker(mut self, checker: CheckerConfig) -> Self {
+        self.checker = Some(checker);
+        self
+    }
 }
 
 /// Per-rank operation counters, reported at the end of a run.
@@ -111,6 +133,9 @@ pub struct Process {
     coll_seq: u64,
     fault_plan: Option<FaultPlan>,
     pub(crate) counters: OpCounters,
+    /// RMASAN context (vector clock + reporting sink); `None` when the
+    /// sanitizer is disabled.
+    pub(crate) san: Option<SanCtx>,
 }
 
 impl Process {
@@ -194,6 +219,27 @@ impl Process {
         s
     }
 
+    /// RMASAN edge for a completed collective: every rank's vector clock
+    /// is joined into every other's (a collective is a full
+    /// happens-before barrier). Uses the shared [`Exchange`] under the
+    /// [`SAN_SEQ_BIT`] namespace; a no-op when the checker is off, so it
+    /// never perturbs clean runs (no virtual time is charged either way).
+    fn san_collective_join(&mut self) {
+        let Some(san) = self.san.as_mut() else {
+            return;
+        };
+        let seq = SAN_SEQ_BIT | san.seq;
+        san.seq += 1;
+        let clocks = self
+            .shared
+            .exchange
+            .allgather(seq, self.rank, san.vc.clone());
+        for vc in &clocks {
+            san.join(vc);
+        }
+        san.tick();
+    }
+
     /// Collective barrier: synchronizes both the threads and the virtual
     /// clocks (every rank leaves at the same virtual time, plus the modeled
     /// barrier cost).
@@ -201,6 +247,7 @@ impl Process {
         let joint = self.shared.barrier.wait_max(self.clock.now());
         let cost = self.netmodel().barrier_cost(self.nranks);
         self.clock.advance_to(joint + cost);
+        self.san_collective_join();
     }
 
     /// Allgather of one value per rank, ordered by rank. Synchronizes
@@ -211,6 +258,7 @@ impl Process {
         let joint = self.shared.barrier.wait_max(self.clock.now());
         let cost = self.netmodel().barrier_cost(self.nranks);
         self.clock.advance_to(joint + cost);
+        self.san_collective_join();
         out
     }
 
@@ -222,6 +270,7 @@ impl Process {
         let joint = self.shared.barrier.wait_max(self.clock.now());
         let cost = self.netmodel().barrier_cost(self.nranks);
         self.clock.advance_to(joint + cost);
+        self.san_collective_join();
         out
     }
 
@@ -242,13 +291,14 @@ impl Process {
     pub fn win_allocate(&mut self, size: usize) -> Window {
         let sizes = self.allgather(size);
         let ring_cap = self.shared.config.notify_ring_cap;
+        let san_enabled = self.san.is_some();
         let shared: Arc<WinShared> = if self.rank == 0 {
-            let ws = Arc::new(WinShared::new(sizes, ring_cap));
+            let ws = Arc::new(WinShared::new(sizes, ring_cap, san_enabled));
             self.bcast(0, Some(ws))
         } else {
             self.bcast::<Arc<WinShared>>(0, None)
         };
-        Window::new(shared, self.rank)
+        Window::new(shared, self.rank, san_enabled)
     }
 
     /// Builds the end-of-run report for this rank.
@@ -301,18 +351,28 @@ where
 /// # Panics
 ///
 /// Panics if `nranks == 0` or if any rank panics (the panic is propagated).
-pub fn run_collect<T, F>(config: SimConfig, nranks: usize, f: F) -> Vec<(RankReport, T)>
+pub fn run_collect<T, F>(mut config: SimConfig, nranks: usize, f: F) -> Vec<(RankReport, T)>
 where
     F: Fn(&mut Process) -> T + Sync,
     T: Send,
 {
     assert!(nranks > 0, "need at least one rank");
+    // CLAMPI_SAN=1 turns every run without an explicit checker into a
+    // checked run: diagnostics are collected silently and asserted empty
+    // below, so the whole test suite doubles as a sanitizer suite.
+    let env_handle = if config.checker.is_none() && check::env_enabled() {
+        let (cfg, handle) = CheckerConfig::collect();
+        config.checker = Some(cfg);
+        Some(handle)
+    } else {
+        None
+    };
     let shared = Arc::new(CommShared {
         barrier: ReduceBarrier::new(nranks),
         exchange: Exchange::new(nranks),
         config,
     });
-    std::thread::scope(|scope| {
+    let out = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nranks)
             .map(|rank| {
                 let shared = Arc::clone(&shared);
@@ -327,6 +387,11 @@ where
                             .faults
                             .as_ref()
                             .map(|cfg| FaultPlan::new(cfg.clone(), rank));
+                        let san = shared
+                            .config
+                            .checker
+                            .clone()
+                            .map(|cfg| SanCtx::new(cfg, rank, nranks));
                         let mut p = Process {
                             rank,
                             nranks,
@@ -335,10 +400,12 @@ where
                             coll_seq: 0,
                             fault_plan,
                             counters: OpCounters::default(),
+                            san,
                         };
                         let out = f(&mut p);
                         (p.report(), out)
                     })
+                    // xlint: allow(no-unwrap) OS spawn failure is unrecoverable for the simulation
                     .expect("failed to spawn rank thread")
             })
             .collect();
@@ -349,7 +416,21 @@ where
                 Err(e) => std::panic::resume_unwind(e),
             })
             .collect()
-    })
+    });
+    if let Some(handle) = env_handle {
+        let diags = handle.take();
+        assert!(
+            diags.is_empty(),
+            "RMASAN (CLAMPI_SAN) found {} violation(s):\n{}",
+            diags.len(),
+            diags
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+    out
 }
 
 #[cfg(test)]

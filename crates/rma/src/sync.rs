@@ -12,26 +12,49 @@
 //! half-completed memcpy can break that the epoch discipline doesn't
 //! already forbid).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// How many times any wrapper below recovered a guard from a poisoned
+/// lock. Observable through `check::poison_recoveries()`: a nonzero value
+/// in an otherwise green run means a rank panicked while holding an
+/// internal lock and the others kept going.
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
 
 /// Locks `m`, recovering from poisoning.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+    m.lock().unwrap_or_else(|e| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
+    })
 }
 
 /// Read-locks `l`, recovering from poisoning.
 pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    l.read().unwrap_or_else(|e| e.into_inner())
+    l.read().unwrap_or_else(|e| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
+    })
 }
 
 /// Write-locks `l`, recovering from poisoning.
 pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    l.write().unwrap_or_else(|e| e.into_inner())
+    l.write().unwrap_or_else(|e| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
+    })
 }
 
 /// Waits on `cv`, recovering the guard from poisoning.
 pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    cv.wait(guard).unwrap_or_else(|e| {
+        POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+        e.into_inner()
+    })
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 use clampi_datatype::{Datatype, FlatLayout};
 
+use crate::check::{AccessKind, SanKind, WinSanLocal, WinSanShared};
 use crate::fault::{FaultDecision, RmaError};
 use crate::process::Process;
 use crate::sync;
@@ -97,16 +98,20 @@ pub(crate) struct WinShared {
     pub(crate) sizes: Vec<usize>,
     pub(crate) pscw: PscwState,
     notify: Vec<Mutex<NotifyRing>>,
+    /// Cross-rank RMASAN state (access log + atomic-sync clocks); `None`
+    /// when the sanitizer is off.
+    san: Option<WinSanShared>,
 }
 
 impl WinShared {
-    pub(crate) fn new(sizes: Vec<usize>, notify_ring_cap: usize) -> Self {
+    pub(crate) fn new(sizes: Vec<usize>, notify_ring_cap: usize, san_enabled: bool) -> Self {
+        let ntargets = sizes.len();
         WinShared {
             regions: sizes
                 .iter()
                 .map(|&s| RwLock::new(vec![0u8; s].into_boxed_slice()))
                 .collect(),
-            locks: LockManager::new(sizes.len()),
+            locks: LockManager::new(ntargets),
             notify: sizes
                 .iter()
                 .map(|_| {
@@ -120,6 +125,7 @@ impl WinShared {
                 .collect(),
             sizes,
             pscw: PscwState::default(),
+            san: san_enabled.then(|| WinSanShared::new(ntargets)),
         }
     }
 
@@ -138,8 +144,9 @@ impl WinShared {
             return;
         }
         if ring.records.len() == ring.cap {
-            let evicted = ring.records.pop_front().expect("cap > 0");
-            ring.dropped_through = evicted.version;
+            if let Some(evicted) = ring.records.pop_front() {
+                ring.dropped_through = evicted.version;
+            }
         }
         ring.records.push_back(PutRecord {
             origin: origin as u32,
@@ -150,37 +157,52 @@ impl WinShared {
     }
 }
 
+/// One PSCW signal slot: how many unmatched signals are pending for a
+/// `(signaller, consumer)` pair, plus — RMASAN only — the join of the
+/// signallers' vector clocks, consumed as a happens-before edge by the
+/// matching `start`/`wait`.
+#[derive(Debug, Default)]
+struct PscwSlot {
+    count: u32,
+    vc: Vec<u64>,
+}
+
+type PscwMap = Mutex<std::collections::HashMap<(usize, usize), PscwSlot>>;
+
 /// Signal counters for post-start-complete-wait synchronization: how many
 /// unmatched `post`s rank A has issued towards accessor B, and how many
 /// unmatched `complete`s accessor B has issued towards target A.
 #[derive(Debug, Default)]
 pub(crate) struct PscwState {
-    posts: Mutex<std::collections::HashMap<(usize, usize), u32>>,
-    completes: Mutex<std::collections::HashMap<(usize, usize), u32>>,
+    posts: PscwMap,
+    completes: PscwMap,
     cv: Condvar,
 }
 
 impl PscwState {
-    fn signal(
-        map: &Mutex<std::collections::HashMap<(usize, usize), u32>>,
-        cv: &Condvar,
-        key: (usize, usize),
-    ) {
-        *sync::lock(map).entry(key).or_default() += 1;
+    fn signal(map: &PscwMap, cv: &Condvar, key: (usize, usize), san_vc: Option<&[u64]>) {
+        let mut m = sync::lock(map);
+        let slot = m.entry(key).or_default();
+        slot.count += 1;
+        if let Some(vc) = san_vc {
+            if slot.vc.len() < vc.len() {
+                slot.vc.resize(vc.len(), 0);
+            }
+            crate::check::vc_join(&mut slot.vc, vc);
+        }
+        drop(m);
         cv.notify_all();
     }
 
-    fn consume(
-        map: &Mutex<std::collections::HashMap<(usize, usize), u32>>,
-        cv: &Condvar,
-        key: (usize, usize),
-    ) {
+    /// Blocks until a signal is pending, consumes it, and returns the
+    /// published clock (empty without RMASAN) for the consumer to join.
+    fn consume(map: &PscwMap, cv: &Condvar, key: (usize, usize)) -> Vec<u64> {
         let mut m = sync::lock(map);
         loop {
-            if let Some(c) = m.get_mut(&key) {
-                if *c > 0 {
-                    *c -= 1;
-                    return;
+            if let Some(slot) = m.get_mut(&key) {
+                if slot.count > 0 {
+                    slot.count -= 1;
+                    return slot.vc.clone();
                 }
             }
             m = sync::wait(cv, m);
@@ -192,7 +214,7 @@ impl PscwState {
 struct AccessRec {
     target: usize,
     range: Range2,
-    is_put: bool,
+    kind: AccessKind,
 }
 
 /// A `Copy` half-open byte range (std's `Range` is not `Copy`).
@@ -252,6 +274,18 @@ pub struct Window {
     /// Reusable one-block layout for contiguous typed gets, so the hot
     /// path does not flatten (heap-allocate) per call.
     scratch_layout: FlatLayout,
+    /// Rank-local RMASAN state (epoch discipline, outstanding get
+    /// destinations, observed versions); `None` when the sanitizer is off.
+    san: Option<Box<WinSanLocal>>,
+}
+
+/// Copies an 8-byte slice into an array for `from_le_bytes`. Callers pass
+/// slices produced by `chunks_exact(8)` or 8-wide indexing, so the length
+/// always matches; `copy_from_slice` still asserts it.
+fn le8(b: &[u8]) -> [u8; 8] {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(b);
+    a
 }
 
 /// A one-block contiguous layout of `len` bytes (empty for `len == 0`,
@@ -265,7 +299,7 @@ fn contig_layout(len: usize) -> FlatLayout {
 }
 
 impl Window {
-    pub(crate) fn new(shared: Arc<WinShared>, my_rank: usize) -> Self {
+    pub(crate) fn new(shared: Arc<WinShared>, my_rank: usize, san_enabled: bool) -> Self {
         let ntargets = shared.sizes.len();
         Window {
             shared,
@@ -275,6 +309,7 @@ impl Window {
             pscw_targets: Vec::new(),
             nb_queue: vec![Vec::new(); ntargets],
             scratch_layout: contig_layout(0),
+            san: san_enabled.then(|| Box::new(WinSanLocal::new(ntargets))),
         }
     }
 
@@ -309,8 +344,9 @@ impl Window {
         crate::MappedReadGuard(sync::read(&self.shared.regions[self.my_rank]))
     }
 
-    fn record_access(&mut self, p: &Process, target: usize, range: Range2, is_put: bool) {
-        if !p.config().check_conflicts {
+    fn record_access(&mut self, p: &Process, target: usize, range: Range2, kind: AccessKind) {
+        let sanitize = self.san.is_some() && p.san.is_some();
+        if !p.config().check_conflicts && !sanitize {
             return;
         }
         for a in &self.accesses {
@@ -319,24 +355,76 @@ impl Window {
             }
             // MPI-3 RMA forbids a put overlapping any access, and a get
             // overlapping a put, within one epoch (Sec. II of the paper).
-            if is_put || a.is_put {
+            // The legacy `check_conflicts` gate treats accumulates like
+            // puts (panicking on any write-side overlap); RMASAN applies
+            // the precise conflict matrix, under which same-operation
+            // accumulate overlaps are well-defined.
+            if p.config().check_conflicts
+                && (kind != AccessKind::Read || a.kind != AccessKind::Read)
+            {
                 panic!(
                     "conflicting RMA access in one epoch: {} [{},{}) vs {} [{},{}) at target {}",
-                    if a.is_put { "put" } else { "get" },
+                    if a.kind != AccessKind::Read {
+                        "put"
+                    } else {
+                        "get"
+                    },
                     a.range.start,
                     a.range.end,
-                    if is_put { "put" } else { "get" },
+                    if kind != AccessKind::Read {
+                        "put"
+                    } else {
+                        "get"
+                    },
                     range.start,
                     range.end,
                     target
                 );
             }
+            if sanitize && a.kind.conflicts_with(kind) {
+                if let Some(ctx) = p.san.as_ref() {
+                    ctx.report(SanKind::EpochConflict {
+                        target,
+                        first: (a.kind, a.range.start, a.range.end),
+                        second: (kind, range.start, range.end),
+                    });
+                }
+            }
         }
         self.accesses.push(AccessRec {
             target,
             range,
-            is_put,
+            kind,
         });
+    }
+
+    /// RMASAN: checks that a data op towards `target` has an open epoch.
+    fn san_epoch_gate(&self, p: &Process, target: usize, op: &'static str) {
+        if let (Some(local), Some(ctx)) = (self.san.as_deref(), p.san.as_ref()) {
+            if !local.epoch_open_for(target, &self.pscw_targets) {
+                ctx.report(SanKind::OpOutsideEpoch { target, op });
+            }
+        }
+    }
+
+    /// RMASAN: logs one data access in the shared region log (cross-rank
+    /// race detection).
+    fn san_log_access(&self, p: &Process, target: usize, start: usize, end: usize, k: AccessKind) {
+        if let (Some(shared), Some(ctx)) = (self.shared.san.as_ref(), p.san.as_ref()) {
+            shared.log_access(ctx, target, start, end, k);
+        }
+    }
+
+    /// RMASAN hook for local reads of buffers previously handed to a get:
+    /// reports [`SanKind::ReadBeforeFlush`] if `buf` overlaps the
+    /// destination of a get that has not yet completed (no flush/unlock/
+    /// fence/wait since it was issued). A no-op when the sanitizer is
+    /// off — the simulator cannot trap plain loads, so checked code paths
+    /// call this explicitly before consuming get results early.
+    pub fn san_read(&self, p: &Process, buf: &[u8]) {
+        if let (Some(local), Some(ctx)) = (self.san.as_deref(), p.san.as_ref()) {
+            local.check_read(ctx, buf.as_ptr() as usize, buf.len());
+        }
     }
 
     /// Consults the fault schedule for one operation towards `target`.
@@ -546,6 +634,9 @@ impl Window {
             .post_network(target, staged.cost.wire_ns * staged.spike);
         let id = p.clock_mut().last_posted_id();
         self.nb_queue[target].push(id);
+        if let Some(local) = self.san.as_deref_mut() {
+            local.tag_last_read(id);
+        }
         Ok(RmaRequest { id })
     }
 
@@ -571,6 +662,7 @@ impl Window {
             "get out of bounds: disp {disp} + span {span} > window size {} at target {target}",
             self.shared.sizes[target]
         );
+        self.san_epoch_gate(p, target, "get");
         let spike = self.fault_gate(p, target)?;
         self.record_access(
             p,
@@ -579,8 +671,12 @@ impl Window {
                 start: disp,
                 end: disp + span,
             },
-            false,
+            AccessKind::Read,
         );
+        self.san_log_access(p, target, disp, disp + span, AccessKind::Read);
+        if let Some(local) = self.san.as_deref_mut() {
+            local.register_read(target, dst, disp, disp + span);
+        }
         {
             let region = sync::read(&self.shared.regions[target]);
             clampi_datatype::pack(&region[disp..disp + span], layout, dst);
@@ -685,6 +781,9 @@ impl Window {
                 break;
             }
         }
+        if let Some(local) = self.san.as_deref_mut() {
+            local.complete_read_id(req.id);
+        }
     }
 
     /// Writes `count` elements of `dtype` from the packed buffer `src` into
@@ -734,6 +833,7 @@ impl Window {
             "put out of bounds: disp {disp} + span {span} > window size {} at target {target}",
             self.shared.sizes[target]
         );
+        self.san_epoch_gate(p, target, "put");
         let spike = self.fault_gate(p, target)?;
         self.record_access(
             p,
@@ -742,8 +842,9 @@ impl Window {
                 start: disp,
                 end: disp + span,
             },
-            true,
+            AccessKind::Write,
         );
+        self.san_log_access(p, target, disp, disp + span, AccessKind::Write);
         {
             let mut region = sync::write(&self.shared.regions[target]);
             clampi_datatype::unpack(src, &layout, &mut region[disp..disp + span]);
@@ -808,6 +909,7 @@ impl Window {
                 assert_eq!(b.len % 8, 0, "numeric accumulate needs f64-aligned blocks");
             }
         }
+        self.san_epoch_gate(p, target, "accumulate");
         self.record_access(
             p,
             target,
@@ -815,8 +917,15 @@ impl Window {
                 start: disp,
                 end: disp + span,
             },
-            true,
+            AccessKind::Atomic,
         );
+        // An accumulate is a one-way atomic: it publishes this rank's
+        // clock for later value-returning atomics to join, but learns
+        // nothing itself (no result flows back into control flow).
+        if let (Some(shared), Some(ctx)) = (self.shared.san.as_ref(), p.san.as_mut()) {
+            shared.atomic_sync(ctx, target, false);
+        }
+        self.san_log_access(p, target, disp, disp + span, AccessKind::Atomic);
         {
             let mut region = sync::write(&self.shared.regions[target]);
             let mut cursor = 0;
@@ -827,8 +936,8 @@ impl Window {
                     AccumulateOp::Replace => dst.copy_from_slice(s),
                     _ => {
                         for (dc, sc) in dst.chunks_exact_mut(8).zip(s.chunks_exact(8)) {
-                            let cur = f64::from_le_bytes(dc.try_into().unwrap());
-                            let add = f64::from_le_bytes(sc.try_into().unwrap());
+                            let cur = f64::from_le_bytes(le8(dc));
+                            let add = f64::from_le_bytes(le8(sc));
                             let new = match op {
                                 AccumulateOp::Sum => cur + add,
                                 AccumulateOp::Min => cur.min(add),
@@ -880,9 +989,18 @@ impl Window {
             disp + 8 <= self.shared.sizes[target],
             "fetch_and_op out of bounds at target {target}"
         );
+        // Value-returning atomic: a two-way synchronization point. Joining
+        // the clocks of every prior atomic on this region gives CAS-built
+        // locks and ticket counters real happens-before edges. Atomics are
+        // deliberately exempt from the epoch gate — the simulator models
+        // them as standalone synchronous ops usable outside lock epochs.
+        if let (Some(shared), Some(ctx)) = (self.shared.san.as_ref(), p.san.as_mut()) {
+            shared.atomic_sync(ctx, target, true);
+        }
+        self.san_log_access(p, target, disp, disp + 8, AccessKind::Atomic);
         let prev = {
             let mut region = sync::write(&self.shared.regions[target]);
-            let cur = u64::from_le_bytes(region[disp..disp + 8].try_into().unwrap());
+            let cur = u64::from_le_bytes(le8(&region[disp..disp + 8]));
             let new = op(cur, operand);
             region[disp..disp + 8].copy_from_slice(&new.to_le_bytes());
             cur
@@ -917,9 +1035,14 @@ impl Window {
             disp + 8 <= self.shared.sizes[target],
             "compare_and_swap out of bounds at target {target}"
         );
+        // Two-way synchronization point, exactly like fetch_and_op.
+        if let (Some(shared), Some(ctx)) = (self.shared.san.as_ref(), p.san.as_mut()) {
+            shared.atomic_sync(ctx, target, true);
+        }
+        self.san_log_access(p, target, disp, disp + 8, AccessKind::Atomic);
         let prev = {
             let mut region = sync::write(&self.shared.regions[target]);
-            let cur = u64::from_le_bytes(region[disp..disp + 8].try_into().unwrap());
+            let cur = u64::from_le_bytes(le8(&region[disp..disp + 8]));
             if cur == expected {
                 region[disp..disp + 8].copy_from_slice(&desired.to_le_bytes());
             }
@@ -963,6 +1086,9 @@ impl Window {
     pub fn try_fetch_version(&mut self, p: &mut Process, target: usize) -> Result<u64, RmaError> {
         let spike = self.fault_gate(p, target)?;
         let v = sync::lock(&self.shared.notify[target]).version;
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            local.check_version(ctx, target, v);
+        }
         let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
         p.clock_mut().charge_cpu(cost.cpu_ns);
         p.clock_mut().charge_cpu(cost.wire_ns * spike);
@@ -995,6 +1121,7 @@ impl Window {
         out: &mut Vec<PutRecord>,
     ) -> Result<NotifyDrain, RmaError> {
         self.fault_gate(p, target)?;
+        let before = out.len();
         let (version, drained, overflowed) = {
             let ring = sync::lock(&self.shared.notify[target]);
             if ring.dropped_through > cursor {
@@ -1010,6 +1137,9 @@ impl Window {
                 (ring.version, n, false)
             }
         };
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            local.check_drain(ctx, target, cursor, &out[before..], version);
+        }
         let per_record = p.netmodel().memcpy_cost(PUT_RECORD_BYTES);
         let drain_cpu = p.netmodel().issue_overhead_ns + drained as f64 * per_record;
         p.clock_mut().charge_cpu(drain_cpu);
@@ -1038,6 +1168,14 @@ impl Window {
     /// Completes all outstanding operations towards `target`
     /// (MPI_Win_flush). Counts as an epoch closure for the caching layer.
     pub fn flush(&mut self, p: &mut Process, target: usize) {
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            if !local.epoch_open_for(target, &self.pscw_targets) {
+                ctx.report(SanKind::FlushOutsideEpoch {
+                    target: Some(target),
+                });
+            }
+            local.complete_reads_for(target);
+        }
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_target(target);
@@ -1049,6 +1187,12 @@ impl Window {
     /// Completes all outstanding operations towards every target
     /// (MPI_Win_flush_all). Counts as an epoch closure.
     pub fn flush_all(&mut self, p: &mut Process) {
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            if !local.any_epoch_open(&self.pscw_targets) {
+                ctx.report(SanKind::FlushOutsideEpoch { target: None });
+            }
+            local.complete_all_reads();
+        }
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
@@ -1062,7 +1206,10 @@ impl Window {
     pub fn lock(&mut self, p: &mut Process, kind: LockKind, target: usize) {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
-        self.shared.locks.lock(kind, target);
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            local.on_lock(ctx, kind, target);
+        }
+        self.shared.locks.lock_hb(kind, target, p.san.as_mut());
     }
 
     /// Ends the passive-target epoch towards `target` (MPI_Win_unlock):
@@ -1071,7 +1218,11 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_target(target);
-        self.shared.locks.unlock(target);
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            local.on_unlock(ctx, target);
+            local.complete_reads_for(target);
+        }
+        self.shared.locks.unlock_hb(target, p.san.as_mut());
         self.drain_requests(target);
         self.close_epoch();
     }
@@ -1081,7 +1232,10 @@ impl Window {
     pub fn lock_all(&mut self, p: &mut Process) {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
-        self.shared.locks.lock_all();
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            local.on_lock_all(ctx);
+        }
+        self.shared.locks.lock_all_hb(p.san.as_mut());
     }
 
     /// Ends the epoch towards all targets (MPI_Win_unlock_all).
@@ -1089,7 +1243,11 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
-        self.shared.locks.unlock_all();
+        if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
+            local.on_unlock_all(ctx);
+            local.complete_all_reads();
+        }
+        self.shared.locks.unlock_all_hb(p.san.as_mut());
         self.drain_all_requests();
         self.close_epoch();
     }
@@ -1100,11 +1258,16 @@ impl Window {
     pub fn post(&mut self, p: &mut Process, accessors: &[usize]) {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
+        let san_vc = p.san.as_mut().map(|san| {
+            san.tick();
+            san.vc.clone()
+        });
         for &a in accessors {
             PscwState::signal(
                 &self.shared.pscw.posts,
                 &self.shared.pscw.cv,
                 (self.my_rank, a),
+                san_vc.as_deref(),
             );
         }
     }
@@ -1115,11 +1278,15 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         for &t in targets {
-            PscwState::consume(
+            let vc = PscwState::consume(
                 &self.shared.pscw.posts,
                 &self.shared.pscw.cv,
                 (t, self.my_rank),
             );
+            if let Some(san) = p.san.as_mut() {
+                san.join(&vc);
+                san.tick();
+            }
         }
         // All posts have (virtually) arrived: model one remote latency for
         // the slowest post notification.
@@ -1138,11 +1305,19 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
+        if let Some(local) = self.san.as_deref_mut() {
+            local.complete_all_reads();
+        }
+        let san_vc = p.san.as_mut().map(|san| {
+            san.tick();
+            san.vc.clone()
+        });
         for &t in &self.pscw_targets {
             PscwState::signal(
                 &self.shared.pscw.completes,
                 &self.shared.pscw.cv,
                 (self.my_rank, t),
+                san_vc.as_deref(),
             );
         }
         self.pscw_targets.clear();
@@ -1157,11 +1332,15 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         for &a in accessors {
-            PscwState::consume(
+            let vc = PscwState::consume(
                 &self.shared.pscw.completes,
                 &self.shared.pscw.cv,
                 (a, self.my_rank),
             );
+            if let Some(san) = p.san.as_mut() {
+                san.join(&vc);
+                san.tick();
+            }
         }
         self.close_epoch();
     }
@@ -1172,6 +1351,10 @@ impl Window {
         let sync = p.netmodel().sync_cost();
         p.clock_mut().charge_cpu(sync);
         p.clock_mut().wait_all();
+        if let Some(local) = self.san.as_deref_mut() {
+            local.on_fence();
+            local.complete_all_reads();
+        }
         p.barrier();
         self.drain_all_requests();
         self.close_epoch();

@@ -381,7 +381,7 @@ mod allreduce {
 }
 
 mod atomics {
-    use clampi_rma::{run, run_collect, SimConfig};
+    use clampi_rma::{run, run_collect, LockKind, SimConfig};
 
     #[test]
     fn fetch_and_add_is_exact_under_contention() {
@@ -425,6 +425,10 @@ mod atomics {
             for _ in 0..rounds {
                 while win.compare_and_swap(p, 0, 0, 0, 1 + p.rank() as u64) != 0 {}
                 // Critical section: read-modify-write the plain counter.
+                // The CAS provides mutual exclusion (and RMASAN's
+                // happens-before edges), but MPI still requires a
+                // passive-target epoch around the get/put themselves.
+                win.lock(p, LockKind::Shared, 0);
                 let mut b = [0u8; 8];
                 win.get(p, &mut b, 0, 8, &clampi_datatype::Datatype::bytes(8), 1);
                 win.flush(p, 0);
@@ -437,7 +441,7 @@ mod atomics {
                     &clampi_datatype::Datatype::bytes(8),
                     1,
                 );
-                win.flush(p, 0);
+                win.unlock(p, 0);
                 let released = win.compare_and_swap(p, 0, 0, 1 + p.rank() as u64, 0);
                 assert_eq!(released, 1 + p.rank() as u64, "lost the lock mid-section");
             }
