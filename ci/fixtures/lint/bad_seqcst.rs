@@ -1,0 +1,19 @@
+//! Self-test fixture: bare sequentially-consistent atomic orderings.
+//! xlint --self-test expects EXACTLY 2 [no-bare-seqcst] violations here
+//! (and nothing else). Not compiled: `ci/` is outside the workspace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bare(flag: &AtomicU64) -> u64 {
+    flag.store(1, Ordering::SeqCst);
+    flag.load(Ordering::SeqCst)
+}
+
+pub fn justified(flag: &AtomicU64) -> u64 {
+    // SeqCst: this flag needs a single total order with its peer.
+    flag.load(Ordering::SeqCst)
+}
+
+pub fn escaped(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::SeqCst) // xlint: allow(no-bare-seqcst)
+}

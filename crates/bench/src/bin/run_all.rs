@@ -26,6 +26,7 @@ const BINARIES: &[&str] = &[
     "fig07_access_costs",
     "fig08_overlap",
     "fig_coherence",
+    "fig_contention",
     "fig09_adaptive",
     "fig10_fragmentation",
     "fig11_victim_stats",

@@ -42,6 +42,16 @@ impl GetKey {
         x ^= x >> 27;
         x
     }
+
+    /// A well-mixed value for striping keys across cache shards. One more
+    /// finalizer round on top of [`GetKey::mix`] so the stripe bits do not
+    /// correlate with the inputs the per-shard universal hashers see.
+    pub fn stripe(&self) -> u64 {
+        let mut x = self.mix();
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x
+    }
 }
 
 /// One multiply-add universal hash function `h(x) = ((a·x + b) >> 32) mod m`.

@@ -72,6 +72,7 @@ pub mod costs;
 pub mod eviction;
 pub mod index;
 pub mod recovery;
+pub mod shard;
 pub mod stats;
 pub mod storage;
 pub mod trace;
@@ -85,6 +86,7 @@ pub use costs::CacheCostModel;
 pub use eviction::VictimScheme;
 pub use index::{CuckooIndex, EntryId, GetKey};
 pub use recovery::RetryPolicy;
+pub use shard::ShardedCache;
 pub use stats::{AccessType, CacheStats};
 pub use trace::{replay, ReplayCosts, ReplayResult, Trace, TraceEvent};
 pub use window::{CachedWindow, ClampiConfig, Mode};

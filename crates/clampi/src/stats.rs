@@ -120,6 +120,14 @@ pub struct CacheStats {
     pub notification_overflows: u64,
     /// Remote version fetches issued by `EpochValidate` passes.
     pub version_fetches: u64,
+    /// Optimistic (seqlock) hit-path reads discarded because the shard's
+    /// sequence counter changed mid-copy; each one retried or fell back to
+    /// the locked path ([`crate::ShardedCache`]).
+    pub opt_retries: u64,
+    /// Hit-path reads served under the shard read lock instead of the
+    /// optimistic path (fallback after repeated validation failures or a
+    /// mid-mutation probe).
+    pub locked_reads: u64,
 }
 
 impl CacheStats {
@@ -206,6 +214,8 @@ impl CacheStats {
             notifications_drained: self.notifications_drained - earlier.notifications_drained,
             notification_overflows: self.notification_overflows - earlier.notification_overflows,
             version_fetches: self.version_fetches - earlier.version_fetches,
+            opt_retries: self.opt_retries - earlier.opt_retries,
+            locked_reads: self.locked_reads - earlier.locked_reads,
         }
     }
 
@@ -238,6 +248,8 @@ impl CacheStats {
         self.notifications_drained += other.notifications_drained;
         self.notification_overflows += other.notification_overflows;
         self.version_fetches += other.version_fetches;
+        self.opt_retries += other.opt_retries;
+        self.locked_reads += other.locked_reads;
     }
 }
 
@@ -309,6 +321,8 @@ mod tests {
             notifications_drained: 30,
             notification_overflows: 3,
             version_fetches: 12,
+            opt_retries: 6,
+            locked_reads: 8,
             ..CacheStats::default()
         };
         let earlier = CacheStats {
@@ -319,6 +333,8 @@ mod tests {
             notifications_drained: 10,
             notification_overflows: 1,
             version_fetches: 2,
+            opt_retries: 1,
+            locked_reads: 3,
             ..CacheStats::default()
         };
         let d = a.delta_since(&earlier);
@@ -329,6 +345,8 @@ mod tests {
         assert_eq!(d.notifications_drained, 20);
         assert_eq!(d.notification_overflows, 2);
         assert_eq!(d.version_fetches, 10);
+        assert_eq!(d.opt_retries, 5);
+        assert_eq!(d.locked_reads, 5);
         let mut m = earlier;
         m.merge(&d);
         assert_eq!(m, a);

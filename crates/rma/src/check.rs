@@ -258,8 +258,37 @@ pub fn total_diags() -> u64 {
 /// Process-wide count of lock-poison recoveries performed by the
 /// simulator's poison-tolerant `std::sync` wrappers — nonzero only when
 /// a rank panicked while holding an internal lock (see `crate::sync`).
+///
+/// This is one counter per *process*, and `cargo test` runs many tests
+/// concurrently in one process, so the absolute value reflects every
+/// panicking-holder test that ran before (or during) yours. Never assert
+/// `poison_recoveries() == 0`; take a [`poison_snapshot`] first and
+/// assert on [`recoveries_since`] instead.
 pub fn poison_recoveries() -> u64 {
     sync::poison_recoveries()
+}
+
+/// A point-in-time reading of the process-wide poison-recovery counter,
+/// for delta-based assertions. See [`poison_snapshot`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoisonSnapshot(u64);
+
+/// Records the current poison-recovery count so a later
+/// [`recoveries_since`] can report only what happened in between.
+///
+/// Because the counter is process-global, a delta still includes
+/// recoveries performed by *other* tests that run concurrently with the
+/// bracketed region — so a delta of zero is a sound "nothing recovered
+/// anywhere" claim, while asserting an exact nonzero delta is only
+/// reliable for recoveries your own code path performs deterministically
+/// (asserting `>= n` is the robust form).
+pub fn poison_snapshot() -> PoisonSnapshot {
+    PoisonSnapshot(sync::poison_recoveries())
+}
+
+/// Lock-poison recoveries performed since `snap` was taken.
+pub fn recoveries_since(snap: PoisonSnapshot) -> u64 {
+    sync::poison_recoveries().saturating_sub(snap.0)
 }
 
 #[derive(Debug, Clone)]

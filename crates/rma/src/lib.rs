@@ -67,7 +67,7 @@ mod sync;
 pub mod topology;
 pub mod window;
 
-pub use check::{AccessKind, CheckerConfig, SanDiag, SanHandle, SanKind};
+pub use check::{AccessKind, CheckerConfig, PoisonSnapshot, SanDiag, SanHandle, SanKind};
 pub use clock::Clock;
 pub use fault::{FaultConfig, FaultDecision, FaultPlan, RankFailure, RmaError};
 pub use netmodel::{NetModel, TransferCost};

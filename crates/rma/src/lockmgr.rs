@@ -206,11 +206,14 @@ mod tests {
         let entered2 = Arc::clone(&entered);
         let h = std::thread::spawn(move || {
             lm2.lock(LockKind::Shared, 0);
+            // SeqCst: test-only progress flag; strongest ordering keeps
+            // the interleaving argument trivial.
             entered2.store(1, Ordering::SeqCst);
             lm2.unlock(0);
         });
 
         std::thread::sleep(std::time::Duration::from_millis(30));
+        // SeqCst: pairs with the store above.
         assert_eq!(
             entered.load(Ordering::SeqCst),
             0,
@@ -218,6 +221,7 @@ mod tests {
         );
         lm.unlock(0);
         h.join().unwrap();
+        // SeqCst: pairs with the store above.
         assert_eq!(entered.load(Ordering::SeqCst), 1);
     }
 
@@ -230,13 +234,16 @@ mod tests {
         let done2 = Arc::clone(&done);
         let h = std::thread::spawn(move || {
             lm2.lock(LockKind::Exclusive, 0);
+            // SeqCst: test-only progress flag, as above.
             done2.store(1, Ordering::SeqCst);
             lm2.unlock(0);
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
+        // SeqCst: pairs with the store above.
         assert_eq!(done.load(Ordering::SeqCst), 0);
         lm.unlock(0);
         h.join().unwrap();
+        // SeqCst: pairs with the store above.
         assert_eq!(done.load(Ordering::SeqCst), 1);
     }
 

@@ -19,6 +19,14 @@ use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWrite
 /// lock. Observable through `check::poison_recoveries()`: a nonzero value
 /// in an otherwise green run means a rank panicked while holding an
 /// internal lock and the others kept going.
+///
+/// This is **process-global** state. `cargo test` runs every test of a
+/// binary concurrently in one process, so any test that deliberately
+/// panics a lock holder bumps this counter for everyone — an assertion on
+/// the absolute value (`== 0`) is flipped by whichever unrelated test
+/// happens to run first. Assert *deltas* instead: record
+/// `check::poison_snapshot()` before the bracketed region and compare
+/// with `check::recoveries_since()` after.
 static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
 
 pub(crate) fn poison_recoveries() -> u64 {
@@ -74,6 +82,29 @@ mod tests {
         // The lock is poisoned; a plain unwrap would propagate the panic.
         assert!(m.lock().is_err());
         assert_eq!(*lock(&m), 7, "poison-tolerant lock still works");
+    }
+
+    #[test]
+    fn recoveries_are_asserted_as_deltas_not_absolutes() {
+        // Snapshot first: the counter is process-global and the two
+        // panicking-holder tests in this module (plus anything else in
+        // the test binary) bump it concurrently, so `== 0` or any other
+        // absolute assertion would be order-dependent.
+        let before = crate::check::poison_snapshot();
+        let m = Arc::new(Mutex::new(1u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("holder dies");
+        })
+        .join();
+        assert_eq!(*lock(&m), 1);
+        // This thread performed exactly one recovery; concurrent tests
+        // can only add to the delta, so `>= 1` is the robust form.
+        assert!(
+            crate::check::recoveries_since(before) >= 1,
+            "the recovery above must be visible in the delta"
+        );
     }
 
     #[test]

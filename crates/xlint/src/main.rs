@@ -1,6 +1,6 @@
 //! `xlint` — the workspace's in-tree, dependency-free lint pass.
 //!
-//! Five rules, all lexical: sources are stripped of comments and string
+//! Six rules, all lexical: sources are stripped of comments and string
 //! literals before matching, so prose and message text never trip a rule.
 //!
 //! | rule             | scope                         | what it enforces            |
@@ -10,12 +10,14 @@
 //! | `no-unwrap`      | `crates/{rma,clampi}/src/`    | no `.unwrap()` / `.expect(` in library code |
 //! | `safety-comment` | every `.rs`                   | each `unsafe` carries a `// SAFETY:` comment nearby |
 //! | `no-println`     | sim-path crates, `src/`       | no `print!`/`println!` — binaries own stdout |
+//! | `no-bare-seqcst` | every `.rs`                   | each `Ordering::SeqCst` carries a comment saying why a weaker ordering won't do |
 //!
 //! Escapes: append `// xlint: allow(<rule>)` to the offending line or put
 //! it on the line directly above. A `#[cfg(test)]` attribute suppresses
 //! `no-unwrap`, `no-std-time` and `no-println` from that line to end of
-//! file (`safety-comment` stays active: test `unsafe` still needs a
-//! `// SAFETY:`).
+//! file (`safety-comment` and `no-bare-seqcst` stay active: test `unsafe`
+//! still needs a `// SAFETY:`, and test atomics still document their
+//! ordering).
 //!
 //! Usage:
 //!   xlint [--root DIR] [--rule a,b] [--list] [--self-test [RULE]]
@@ -61,6 +63,10 @@ const RULES: &[(&str, &str)] = &[
     (
         "no-println",
         "no print!/println! in simulation-path crate src (binaries own stdout)",
+    ),
+    (
+        "no-bare-seqcst",
+        "every Ordering::SeqCst carries a comment mentioning SeqCst within 3 lines (default to weaker orderings)",
     ),
 ];
 
@@ -273,7 +279,7 @@ fn rust_rule_in_scope(rule: &str, rel: &str) -> bool {
     match rule {
         "no-std-time" | "no-println" => in_crate_src(rel, SIM_CRATES),
         "no-unwrap" => in_crate_src(rel, UNWRAP_CRATES),
-        "safety-comment" => true,
+        "safety-comment" | "no-bare-seqcst" => true,
         _ => false,
     }
 }
@@ -295,7 +301,7 @@ fn scan_rust(raw: &str, rel: &str, rules: &[&'static str], force_scope: bool) ->
             if rule == "hermeticity" || (!force_scope && !rust_rule_in_scope(rule, rel)) {
                 continue;
             }
-            if idx >= test_from && rule != "safety-comment" {
+            if idx >= test_from && rule != "safety-comment" && rule != "no-bare-seqcst" {
                 continue;
             }
             let msg: Option<String> = match rule {
@@ -319,6 +325,28 @@ fn scan_rust(raw: &str, rel: &str, rules: &[&'static str], force_scope: bool) ->
                 "no-println" => {
                     if has_macro(line, "println") || has_macro(line, "print") {
                         Some("stdout chatter in library code (binaries own stdout)".into())
+                    } else {
+                        None
+                    }
+                }
+                "no-bare-seqcst" => {
+                    if has_token(line, "SeqCst") {
+                        // Justified when a `//` comment within the window
+                        // names SeqCst — the same shape as safety-comment,
+                        // checked against the raw text (comments are
+                        // blanked in the stripped view).
+                        let lo = idx.saturating_sub(SAFETY_WINDOW);
+                        let justified = raw_lines[lo..=idx]
+                            .iter()
+                            .any(|l| l.find("//").is_some_and(|p| l[p..].contains("SeqCst")));
+                        if justified {
+                            None
+                        } else {
+                            Some(
+                                "bare Ordering::SeqCst (say why Acquire/Release won't do, or use them)"
+                                    .into(),
+                            )
+                        }
                     } else {
                         None
                     }
@@ -545,6 +573,7 @@ const LINT_FIXTURES: &[(&str, &str, usize)] = &[
     ("bad_unwrap.rs", "no-unwrap", 2),
     ("bad_unsafe.rs", "safety-comment", 1),
     ("bad_println.rs", "no-println", 1),
+    ("bad_seqcst.rs", "no-bare-seqcst", 2),
     ("clean.rs", "", 0),
 ];
 
@@ -818,6 +847,14 @@ mod tests {
             scan_rust(src, "crates/rma/src/window.rs", &["no-unwrap"], false).len(),
             1
         );
+    }
+
+    #[test]
+    fn seqcst_needs_justifying_comment_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(f: &A) { f.load(Ordering::SeqCst); }\n    fn u(f: &A) {\n        // SeqCst: total order needed across both flags.\n        f.load(Ordering::SeqCst);\n    }\n}\n";
+        let vs = scan_rust(src, "crates/rma/src/x.rs", &["no-bare-seqcst"], false);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].line, 3, "cfg(test) must not suppress the rule");
     }
 
     #[test]
