@@ -2,7 +2,8 @@
 # Staged, fully offline CI for the CLaMPI reproduction.
 #
 # Usage:
-#   ./ci.sh                 run every stage
+#   ./ci.sh                 run every stage, stopping at the first FAIL
+#   ./ci.sh --keep-going    run every stage even after a FAIL, report at end
 #   ./ci.sh <stage>...      run only the named stage(s)
 #   ./ci.sh --list          list stage names
 #
@@ -26,10 +27,16 @@
 #                 diagnostics after every simulation), plus a
 #                 fig_fault_recovery smoke run whose `# SAN diags` summary
 #                 must be 0
-#   prop-matrix   the eight property suites under 3 fixed CLAMPI_PROP_SEED
+#   dht-test      the DHT-over-cached-windows property suite (HashMap
+#                 equivalence in every coherence mode) rerun with the
+#                 sanitizer armed; the suite's transient-fault and
+#                 rank-death cases put a fault plan under CLAMPI_SAN=1 in
+#                 the same pass
+#   prop-matrix   the nine property suites under 3 fixed CLAMPI_PROP_SEED
 #                 values (single-case replay determinism)
-#   bench-smoke   microcosts + fig_fault_recovery + the perf-summary trio
-#                 (fig08_overlap, fig_coherence, fig_contention) under
+#   bench-smoke   microcosts + fig_fault_recovery + the perf-summary
+#                 quartet (fig08_overlap, fig_coherence, fig_contention,
+#                 fig_dht) under
 #                 CLAMPI_BENCH_SMOKE=1, writing results/BENCH_smoke.json
 #                 and the tracked perf summary BENCH_perf.json; every
 #                 harvested "san_diags" value must be 0
@@ -50,7 +57,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(hermeticity xlint fmt clippy build test san-test prop-matrix bench-smoke perf-gate)
+ALL_STAGES=(hermeticity xlint fmt clippy build test san-test dht-test prop-matrix bench-smoke perf-gate)
 PROP_SEEDS=(1 42 20170527)
 
 stage_hermeticity() {
@@ -128,6 +135,18 @@ stage_san_test() {
     echo "fig_fault_recovery clean under the sanitizer (# SAN diags 0)"
 }
 
+stage_dht_test() {
+    # The DHT suite is the only one that layers a real application data
+    # structure (remote open-addressed buckets + a location cache) over
+    # CachedWindow, so it gets a dedicated armed run: the whole suite
+    # pins bit-identical results against std HashMap in every coherence
+    # mode, and its transient-fault and rank-death cases run a fault
+    # plan under the same CLAMPI_SAN=1 pass — any RMA misuse in the DHT
+    # layer (e.g. reading a window the owner is mutating) fails here.
+    CLAMPI_SAN=1 cargo test -q --offline -p clampi-apps --test prop_dht
+    echo "prop_dht clean under the sanitizer (all coherence modes + fault plans)"
+}
+
 stage_prop_matrix() {
     # The property suites, each replayed as a single case under 3 fixed
     # seeds (CLAMPI_PROP_SEED makes the harness run exactly that case).
@@ -143,6 +162,7 @@ stage_prop_matrix() {
         "clampi:prop_nb_equivalence"
         "clampi:prop_coherence"
         "clampi:prop_contention"
+        "clampi-apps:prop_dht"
     )
     for seed in "${PROP_SEEDS[@]}"; do
         for suite in "${suites[@]}"; do
@@ -165,12 +185,12 @@ stage_bench_smoke() {
         --bin fig_fault_recovery -- --json results/BENCH_smoke.json
     test -s results/BENCH_smoke.json
     echo "wrote results/BENCH_smoke.json"
-    echo "-- fig08_overlap + fig_coherence + fig_contention via run_all (smoke, perf summary)"
+    echo "-- fig08_overlap + fig_coherence + fig_contention + fig_dht via run_all (smoke, perf summary)"
     # run_all locates its sibling binaries next to its own executable, so
     # the whole bench package must be built first.
     cargo build -q --offline --release -p clampi-bench
     CLAMPI_BENCH_SMOKE=1 ./target/release/run_all \
-        --only fig08_overlap,fig_coherence,fig_contention \
+        --only fig08_overlap,fig_coherence,fig_contention,fig_dht \
         --json BENCH_perf.json
     test -s BENCH_perf.json
     echo "wrote BENCH_perf.json"
@@ -205,11 +225,11 @@ extract_perf() {
 }
 
 # Keys whose >2x drift only warns instead of failing the gate. The
-# fig_contention numbers are wall clock (real threads on whatever machine
-# CI happens to run on), so they are legitimately noisy; everything else
-# in BENCH_perf.json is a deterministic virtual-clock total and is
-# enforced.
-PERF_WARN_ONLY_RE='^fig_contention\.'
+# fig_contention numbers and fig_dht's wall_ms are wall clock (real
+# threads on whatever machine CI happens to run on), so they are
+# legitimately noisy; everything else in BENCH_perf.json is a
+# deterministic virtual-clock total and is enforced.
+PERF_WARN_ONLY_RE='^fig_contention\.|^fig_dht\.wall_'
 
 # Diffs two perf JSONL files key by key. Enforced keys that drift >2x
 # make the function return nonzero; allowlisted keys and keys present on
@@ -218,7 +238,7 @@ PERF_WARN_ONLY_RE='^fig_contention\.'
 # baseline is out of date.
 perf_gate_check() {
     local baseline=$1 current=$2
-    local rc=0 key base cur
+    local rc=0 key base cur ratio
     while read -r key base; do
         cur=$(extract_perf "$current" | awk -v k="$key" '$1 == k { print $2 }')
         if [ -z "$cur" ]; then
@@ -234,7 +254,12 @@ perf_gate_check() {
                 rc=1
             fi
         else
-            echo "ok: $key baseline $base, current $cur"
+            # Print the drift ratio on passing keys too: a key creeping
+            # from 1.0x to 1.9x across PRs is invisible if only failures
+            # get numbers.
+            ratio=$(awk -v c="$cur" -v b="$base" \
+                'BEGIN { if (b > 0) printf "%.2fx", c / b; else printf "n/a" }')
+            echo "ok: $key baseline $base, current $cur ($ratio)"
         fi
     done < <(extract_perf "$baseline")
     while read -r key cur; do
@@ -297,6 +322,37 @@ stage_perf_gate() {
 # -------------------------------------------------------------- runner --
 declare -A RESULT DURATION
 
+# Fixture stages for the runner self-test, reachable only when
+# CI_ALLOW_FAKE_STAGES=1 so `./ci.sh fake-fail` can't be run by accident.
+stage_fake_pass() { echo "fake-pass stage ran"; }
+stage_fake_fail() { echo "fake-fail stage ran"; return 1; }
+
+runner_self_test() {
+    # A fail-fast runner that doesn't actually stop (or a --keep-going
+    # that doesn't actually keep going) silently changes what a green or
+    # red CI run means, so the runner checks itself against the fake
+    # stages before doing real work.
+    echo "-- runner self-test (fail-fast / --keep-going)"
+    local out
+    if out=$(CI_ALLOW_FAKE_STAGES=1 "$0" fake-fail fake-pass 2>&1); then
+        echo "FAIL: self-test: runner exited 0 despite a failing stage" >&2
+        return 1
+    fi
+    if grep -q "fake-pass stage ran" <<<"$out"; then
+        echo "FAIL: self-test: fail-fast ran a stage after the failure" >&2
+        return 1
+    fi
+    if out=$(CI_ALLOW_FAKE_STAGES=1 "$0" --keep-going fake-fail fake-pass 2>&1); then
+        echo "FAIL: self-test: --keep-going must still exit nonzero on failure" >&2
+        return 1
+    fi
+    if ! grep -q "fake-pass stage ran" <<<"$out"; then
+        echo "FAIL: self-test: --keep-going skipped the remaining stage" >&2
+        return 1
+    fi
+    echo "runner self-test ok (fail-fast stops, --keep-going finishes)"
+}
+
 run_stage() {
     local s=$1 fn rc=0 start
     fn=stage_${s//-/_}
@@ -314,19 +370,32 @@ run_stage() {
 }
 
 main() {
-    local stages=() s known
-    if [ "${1:-}" = "--list" ]; then
-        printf '%s\n' "${ALL_STAGES[@]}"
-        exit 0
-    fi
-    if [ $# -eq 0 ]; then
+    local requested=() stages=() ran=() s k known keep_going=0
+    for s in "$@"; do
+        case $s in
+            --list)
+                printf '%s\n' "${ALL_STAGES[@]}"
+                exit 0
+                ;;
+            --keep-going) keep_going=1 ;;
+            *) requested+=("$s") ;;
+        esac
+    done
+    if [ ${#requested[@]} -eq 0 ]; then
+        # A full run proves the runner itself first; explicit stage lists
+        # (including the self-test's own recursive invocations) skip it,
+        # which also bounds the recursion.
+        runner_self_test || exit 1
         stages=("${ALL_STAGES[@]}")
     else
-        for s in "$@"; do
+        for s in "${requested[@]}"; do
             known=0
             for k in "${ALL_STAGES[@]}"; do
                 [ "$s" = "$k" ] && known=1
             done
+            if [ "${CI_ALLOW_FAKE_STAGES:-0}" = 1 ]; then
+                case $s in fake-pass | fake-fail) known=1 ;; esac
+            fi
             if [ "$known" -ne 1 ]; then
                 echo "unknown stage '$s' (try: ./ci.sh --list)" >&2
                 exit 2
@@ -337,16 +406,28 @@ main() {
 
     for s in "${stages[@]}"; do
         run_stage "$s"
+        ran+=("$s")
+        if [ "${RESULT[$s]}" = FAIL ] && [ "$keep_going" -ne 1 ]; then
+            echo
+            echo "stage '$s' FAILED - stopping here (re-run with --keep-going" \
+                "to finish the remaining stages and report everything at the end)"
+            break
+        fi
     done
 
     echo
     echo "===== summary ====="
     printf '%-14s %-6s %s\n' STAGE RESULT TIME
-    local failed=0
-    for s in "${stages[@]}"; do
+    local failed=0 total=0
+    for s in "${ran[@]}"; do
         printf '%-14s %-6s %ss\n' "$s" "${RESULT[$s]}" "${DURATION[$s]}"
+        total=$((total + DURATION[$s]))
         [ "${RESULT[$s]}" = FAIL ] && failed=1
     done
+    printf '%-14s %-6s %ss\n' total "" "$total"
+    if [ ${#ran[@]} -lt ${#stages[@]} ]; then
+        echo "(${#ran[@]}/${#stages[@]} stages ran - fail-fast)"
+    fi
     if [ "$failed" -ne 0 ]; then
         echo "CI FAILED"
         exit 1

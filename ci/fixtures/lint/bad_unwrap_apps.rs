@@ -1,0 +1,14 @@
+//! Self-test fixture: panicking extractors in apps-style wire decoding.
+//! xlint --self-test expects EXACTLY 2 [no-unwrap] violations here
+//! (and nothing else). This is the shape that put `apps` in scope for
+//! no-unwrap: decoding fixed-width records fetched over RMA, where a
+//! short read panics one rank and deadlocks the rest at the next
+//! barrier. Not compiled: `ci/` is outside the workspace.
+
+pub fn decode_key(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf[0..8].try_into().unwrap())
+}
+
+pub fn decode_value(buf: &[u8]) -> u64 {
+    u64::from_le_bytes(buf[8..16].try_into().expect("short bucket record"))
+}

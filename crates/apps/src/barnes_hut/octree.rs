@@ -74,11 +74,17 @@ impl OctNode {
     /// Panics if `buf` is shorter than [`NODE_BYTES`].
     pub fn decode(buf: &[u8]) -> Self {
         assert!(buf.len() >= NODE_BYTES, "short node record");
-        let f = |i: usize| f64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        let f = |i: usize| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&buf[i * 8..i * 8 + 8]);
+            f64::from_le_bytes(a)
+        };
         let mut children = [NO_CHILD; NCHILD];
         for (k, c) in children.iter_mut().enumerate() {
             let off = 40 + k * 4;
-            *c = i32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+            let mut a = [0u8; 4];
+            a.copy_from_slice(&buf[off..off + 4]);
+            *c = i32::from_le_bytes(a);
         }
         OctNode {
             com: [f(0), f(1), f(2)],

@@ -1,0 +1,115 @@
+//! The DHT's second-level *location cache* (DrTM-style).
+//!
+//! CLaMPI caches bucket *bytes*; this layer caches bucket *addresses*:
+//! `key → (owner, slot)` of the bucket the key was last resolved to. A
+//! location hit turns a lookup from a probe chain (one cached get per
+//! visited bucket) into a single get at the resolved displacement —
+//! usually a CLaMPI hit, so the whole lookup costs one cache probe and
+//! zero network.
+//!
+//! The table is direct-mapped and bounded: `slots.len()` entries, each
+//! holding one `(key, owner, slot)` triple, overwritten on collision.
+//! No invalidation protocol is needed for *data* staleness — the bytes
+//! read at the cached location still travel through `CachedWindow`, so
+//! the coherence modes keep them fresh. The only way an entry goes bad
+//! is the key no longer living at the recorded slot (in an insert-only
+//! open-addressed table keys never move, but a degenerate or future
+//! deleting table could); the read-side fingerprint check catches that,
+//! and [`LocCache::remove`] drops the entry (counted as `loc_stale`).
+
+use clampi_prng::SplitMix64;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct LocSlot {
+    key: u64,
+    target: u32,
+    slot: u32,
+    used: bool,
+}
+
+/// A bounded, direct-mapped `key → (owner, slot)` cache.
+#[derive(Debug, Clone)]
+pub(crate) struct LocCache {
+    slots: Vec<LocSlot>,
+}
+
+impl LocCache {
+    /// A cache with `entries` slots (rounded up to at least 1).
+    pub(crate) fn new(entries: usize) -> Self {
+        LocCache {
+            slots: vec![LocSlot::default(); entries.max(1)],
+        }
+    }
+
+    fn index(&self, key: u64) -> usize {
+        // Independent of the DHT placement hash, so a popular home slot
+        // does not alias a popular location-cache slot.
+        (SplitMix64::new(key ^ 0x10C4_7E5C_ACE0_0B17).next_u64() as usize) % self.slots.len()
+    }
+
+    /// The cached location of `key`, if any.
+    pub(crate) fn get(&self, key: u64) -> Option<(usize, usize)> {
+        let s = self.slots[self.index(key)];
+        (s.used && s.key == key).then_some((s.target as usize, s.slot as usize))
+    }
+
+    /// Records (or overwrites) the location of `key`.
+    pub(crate) fn install(&mut self, key: u64, target: usize, slot: usize) {
+        let idx = self.index(key);
+        self.slots[idx] = LocSlot {
+            key,
+            target: target as u32,
+            slot: slot as u32,
+            used: true,
+        };
+    }
+
+    /// Drops the entry for `key` (a read proved it stale).
+    pub(crate) fn remove(&mut self, key: u64) {
+        let idx = self.index(key);
+        if self.slots[idx].used && self.slots[idx].key == key {
+            self.slots[idx].used = false;
+        }
+    }
+
+    /// Number of live entries (tests and occupancy reporting).
+    pub(crate) fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.used).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_get_remove_roundtrip() {
+        let mut c = LocCache::new(64);
+        assert_eq!(c.get(42), None);
+        c.install(42, 3, 1000);
+        assert_eq!(c.get(42), Some((3, 1000)));
+        assert_eq!(c.len(), 1);
+        c.remove(42);
+        assert_eq!(c.get(42), None);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn collisions_overwrite_instead_of_growing() {
+        let mut c = LocCache::new(4);
+        for k in 0..1000u64 {
+            c.install(k, 0, k as usize);
+        }
+        assert!(c.len() <= 4, "direct-mapped cache grew past its bound");
+    }
+
+    #[test]
+    fn remove_of_a_colliding_key_keeps_the_resident() {
+        let mut c = LocCache::new(1);
+        c.install(7, 1, 2);
+        // Key 8 maps to the same (only) slot but is not resident; its
+        // removal must not evict key 7's entry.
+        c.remove(8);
+        assert_eq!(c.get(7), Some((1, 2)));
+    }
+}

@@ -194,11 +194,11 @@ pub fn lcc_phase(p: &mut Process, graph: &Csr, cfg: &LccConfig) -> LccResult {
                 fetch_buf.resize(du * 4, 0);
                 win.get_sync(p, &mut fetch_buf, owner, disp_of[u]);
                 adj_buf.clear();
-                adj_buf.extend(
-                    fetch_buf
-                        .chunks_exact(4)
-                        .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
-                );
+                adj_buf.extend(fetch_buf.chunks_exact(4).map(|c| {
+                    let mut a = [0u8; 4];
+                    a.copy_from_slice(c);
+                    u32::from_le_bytes(a)
+                }));
                 &adj_buf
             };
             let (count, touched) = intersect_sorted(adj_v, adj_u);

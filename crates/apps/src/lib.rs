@@ -10,6 +10,10 @@
 //! - [`mod@pagerank`]: pull-based PageRank (an extension beyond the paper's
 //!   evaluation), using the *user-defined* mode — scores are read-only
 //!   within an iteration and explicitly invalidated between iterations;
+//! - [`mod@dht`]: a distributed hash table with open-addressed buckets in
+//!   RMA windows, all reads through the transparent cache plus a
+//!   DrTM-style location cache (an extension beyond the paper's
+//!   evaluation — the ROADMAP's "hot keyspace" workload);
 //! - [`backend`]: the foMPI / CLaMPI / native-block-cache configuration
 //!   switch shared by both.
 
@@ -17,10 +21,12 @@
 
 pub mod backend;
 pub mod barnes_hut;
+pub mod dht;
 pub mod lcc;
 pub mod pagerank;
 
 pub use backend::{AnyWindow, Backend};
 pub use barnes_hut::{force_phase, BhConfig, BhResult};
+pub use dht::{Dht, DhtConfig, DhtLookup, DhtStats, BUCKET_BYTES};
 pub use lcc::{lcc_phase, LccConfig, LccResult};
 pub use pagerank::{pagerank, sequential_pagerank, PrConfig, PrResult};

@@ -27,6 +27,7 @@ const BINARIES: &[&str] = &[
     "fig08_overlap",
     "fig_coherence",
     "fig_contention",
+    "fig_dht",
     "fig09_adaptive",
     "fig10_fragmentation",
     "fig11_victim_stats",

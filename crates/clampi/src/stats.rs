@@ -94,6 +94,12 @@ pub struct CacheStats {
     /// Gets served in degraded mode (target already marked failed: no
     /// network traffic, zero-filled payload, classified `Failed`).
     pub degraded_gets: u64,
+    /// Gets whose fetch was abandoned by the recovery layer (rank death
+    /// or retries exhausted): zero-filled payload, classified `Failed`.
+    /// Together with `degraded_gets` this disambiguates a fault-failed
+    /// get from the engine's `Failed` *caching* classification, where
+    /// the payload was fetched fine but could not be cached.
+    pub abandoned_gets: u64,
     /// Cache entries dropped because their target rank was marked failed.
     pub invalidations_on_failure: u64,
     /// Misses whose wire transfer was merged into an already-outstanding
@@ -205,6 +211,7 @@ impl CacheStats {
             retries: self.retries - earlier.retries,
             timeouts: self.timeouts - earlier.timeouts,
             degraded_gets: self.degraded_gets - earlier.degraded_gets,
+            abandoned_gets: self.abandoned_gets - earlier.abandoned_gets,
             invalidations_on_failure: self.invalidations_on_failure
                 - earlier.invalidations_on_failure,
             coalesced_misses: self.coalesced_misses - earlier.coalesced_misses,
@@ -240,6 +247,7 @@ impl CacheStats {
         self.retries += other.retries;
         self.timeouts += other.timeouts;
         self.degraded_gets += other.degraded_gets;
+        self.abandoned_gets += other.abandoned_gets;
         self.invalidations_on_failure += other.invalidations_on_failure;
         self.coalesced_misses += other.coalesced_misses;
         self.batched_gets += other.batched_gets;

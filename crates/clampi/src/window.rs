@@ -281,6 +281,15 @@ impl CachedWindow {
         self.degraded[target]
     }
 
+    /// Number of gets so far whose payload was zero-filled because of a
+    /// fault (degraded target or abandoned fetch). A caller that sees
+    /// [`crate::AccessType::Failed`] can snapshot this around the get to
+    /// tell a fault apart from the engine's `Failed` *caching*
+    /// classification, where the payload arrived fine.
+    pub fn faulted_gets(&self) -> u64 {
+        self.fault_stats.degraded_gets + self.fault_stats.abandoned_gets
+    }
+
     /// The targets currently marked persistently failed.
     pub fn degraded_targets(&self) -> Vec<usize> {
         (0..self.degraded.len())
@@ -320,6 +329,7 @@ impl CachedWindow {
             self.mark_degraded(p, target);
         }
         dst.fill(0);
+        self.fault_stats.abandoned_gets += 1;
         self.fault_stats.record(crate::AccessType::Failed);
         crate::AccessType::Failed
     }

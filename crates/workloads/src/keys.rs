@@ -1,0 +1,159 @@
+//! Skewed key traffic for distributed-hash-table workloads.
+//!
+//! The DHT app and its benchmarks need two deterministic streams derived
+//! from one seed:
+//!
+//! - **lookup traffic**: Zipf-distributed draws over a key *population*
+//!   (rank 0 = the hottest key), mapped to well-mixed `u64` keys so the
+//!   hot keys spread uniformly over owner ranks and bucket slots instead
+//!   of clustering at displacement 0;
+//! - **churn schedules**: per-round update batches drawn from the same
+//!   Zipf distribution (hot keys are updated more often — *skewed
+//!   churn*), deduplicated within a round so one MPI epoch never issues
+//!   two puts to the same bucket (RMASAN flags same-epoch overlapping
+//!   puts).
+//!
+//! Every rank constructs the same [`KeyStream`] from the shared seed and
+//! replays the same schedule, so owners know which inserts are theirs
+//! and readers know the exact current value of every key — the same
+//! shared-schedule idiom the coherence benches use.
+
+use crate::zipf::Zipf;
+use clampi_prng::SplitMix64;
+
+/// Maps a dense key id (`0..population`, Zipf rank order) to a
+/// well-mixed 64-bit key. SplitMix64's output function is a bijection,
+/// so distinct ids never collide.
+pub fn mix_key(id: u64) -> u64 {
+    SplitMix64::new(id).next_u64()
+}
+
+/// One round's deduplicated churn batch: `(key, version)` pairs, where
+/// `version` is the key's update count *after* this round's batch.
+pub type ChurnBatch = Vec<(u64, u64)>;
+
+/// Deterministic Zipf key traffic plus a skewed churn schedule over the
+/// same population.
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    lookup: Zipf,
+    churn: Zipf,
+    /// Update count per key id (advanced by [`KeyStream::churn_round`]).
+    versions: Vec<u64>,
+}
+
+impl KeyStream {
+    /// A stream over `population` keys with Zipf exponent `s`, fully
+    /// determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population == 0` or `s` is not finite (see
+    /// [`Zipf::new`]).
+    pub fn new(population: usize, s: f64, seed: u64) -> Self {
+        KeyStream {
+            lookup: Zipf::new(population, s, seed),
+            churn: Zipf::new(population, s, seed ^ 0xC0FF_EE00_D15E_A5E5),
+            versions: vec![0; population],
+        }
+    }
+
+    /// Number of keys in the population.
+    pub fn population(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// The mixed `u64` key of dense id `id`.
+    pub fn key(&self, id: usize) -> u64 {
+        mix_key(id as u64)
+    }
+
+    /// Draws one lookup key id (0 is the hottest).
+    pub fn draw_id(&mut self) -> usize {
+        self.lookup.sample()
+    }
+
+    /// Draws one lookup key (mixed form).
+    pub fn draw_key(&mut self) -> u64 {
+        mix_key(self.draw_id() as u64)
+    }
+
+    /// The current update count of key id `id`.
+    pub fn version(&self, id: usize) -> u64 {
+        self.versions[id]
+    }
+
+    /// Draws one churn round of `updates` Zipf-skewed update draws,
+    /// advances the per-key versions, and returns the round's batch
+    /// deduplicated to each touched key's *final* version (one put per
+    /// bucket per epoch).
+    pub fn churn_round(&mut self, updates: usize) -> ChurnBatch {
+        let mut touched: Vec<usize> = Vec::new();
+        for _ in 0..updates {
+            let id = self.churn.sample();
+            self.versions[id] += 1;
+            if !touched.contains(&id) {
+                touched.push(id);
+            }
+        }
+        touched
+            .into_iter()
+            .map(|id| (mix_key(id as u64), self.versions[id]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_key_is_injective_on_a_window() {
+        let mut seen: Vec<u64> = (0..10_000).map(mix_key).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 10_000, "mix_key collided on dense ids");
+    }
+
+    #[test]
+    fn streams_are_deterministic_under_seed() {
+        let mut a = KeyStream::new(512, 0.99, 7);
+        let mut b = KeyStream::new(512, 0.99, 7);
+        let da: Vec<u64> = (0..256).map(|_| a.draw_key()).collect();
+        let db: Vec<u64> = (0..256).map(|_| b.draw_key()).collect();
+        assert_eq!(da, db);
+        assert_eq!(a.churn_round(64), b.churn_round(64));
+    }
+
+    #[test]
+    fn churn_rounds_dedupe_and_advance_versions() {
+        let mut s = KeyStream::new(16, 1.2, 3);
+        let batch = s.churn_round(64);
+        let mut keys: Vec<u64> = batch.iter().map(|&(k, _)| k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), batch.len(), "round contains duplicate keys");
+        // 64 skewed draws over 16 keys: versions must sum to 64.
+        let total: u64 = (0..16).map(|id| s.version(id)).sum();
+        assert_eq!(total, 64);
+        // Each batch entry reports the key's final version of the round.
+        for (k, v) in &batch {
+            let id = (0..16).find(|&id| mix_key(id as u64) == *k).expect("id");
+            assert_eq!(*v, s.version(id));
+        }
+    }
+
+    #[test]
+    fn churn_is_skewed_towards_hot_keys() {
+        let mut s = KeyStream::new(1000, 1.2, 11);
+        for _ in 0..50 {
+            s.churn_round(200);
+        }
+        let head: u64 = (0..10).map(|id| s.version(id)).sum();
+        let tail: u64 = (500..510).map(|id| s.version(id)).sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "churn not skewed: {head} vs {tail}"
+        );
+    }
+}

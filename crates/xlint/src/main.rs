@@ -37,8 +37,12 @@ use std::process::ExitCode;
 /// (`bench` is exempt — its binaries own stdout and time real builds.)
 const SIM_CRATES: &[&str] = &["rma", "clampi", "datatype", "workloads", "apps", "prng"];
 
-/// Crates whose `src/` must not panic via `.unwrap()`/`.expect(`.
-const UNWRAP_CRATES: &[&str] = &["rma", "clampi"];
+/// Crates whose `src/` must not panic via `.unwrap()`/`.expect(`. The
+/// apps crate is in scope because its data structures (DHT buckets,
+/// octree records) decode wire bytes — exactly where a stray `.unwrap()`
+/// turns a short read into a rank-killing panic that deadlocks every
+/// other rank at the next barrier.
+const UNWRAP_CRATES: &[&str] = &["rma", "clampi", "apps"];
 
 /// How far above an `unsafe` token a `// SAFETY:` comment may sit.
 const SAFETY_WINDOW: usize = 3;
@@ -54,7 +58,7 @@ const RULES: &[(&str, &str)] = &[
     ),
     (
         "no-unwrap",
-        "no .unwrap()/.expect( in crates/{rma,clampi} library code",
+        "no .unwrap()/.expect( in crates/{rma,clampi,apps} library code",
     ),
     (
         "safety-comment",
@@ -571,6 +575,7 @@ fn rel_of(root: &Path, p: &Path) -> String {
 const LINT_FIXTURES: &[(&str, &str, usize)] = &[
     ("bad_time.rs", "no-std-time", 2),
     ("bad_unwrap.rs", "no-unwrap", 2),
+    ("bad_unwrap_apps.rs", "no-unwrap", 2),
     ("bad_unsafe.rs", "safety-comment", 1),
     ("bad_println.rs", "no-println", 1),
     ("bad_seqcst.rs", "no-bare-seqcst", 2),
@@ -792,6 +797,21 @@ mod tests {
         assert!(has_macro("    println!(\"hi\")", "println"));
         assert!(!has_macro("    eprintln!(\"hi\")", "println"));
         assert!(!has_macro("fn println() {}", "println"));
+    }
+
+    #[test]
+    fn no_unwrap_scope_covers_apps_but_not_bench() {
+        let src = "fn lib(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let hit = |rel: &str| {
+            scan_rust(src, rel, &["no-unwrap"], false)
+                .iter()
+                .filter(|v| v.rule == "no-unwrap")
+                .count()
+        };
+        assert_eq!(hit("crates/apps/src/dht/mod.rs"), 1, "apps src in scope");
+        assert_eq!(hit("crates/rma/src/lib.rs"), 1);
+        assert_eq!(hit("crates/bench/src/bin/fig_dht.rs"), 0, "bench exempt");
+        assert_eq!(hit("crates/apps/tests/prop_dht.rs"), 0, "tests exempt");
     }
 
     #[test]
