@@ -32,11 +32,11 @@
 #                 sanitizer armed; the suite's transient-fault and
 #                 rank-death cases put a fault plan under CLAMPI_SAN=1 in
 #                 the same pass
-#   prop-matrix   the nine property suites under 3 fixed CLAMPI_PROP_SEED
+#   prop-matrix   the ten property suites under 3 fixed CLAMPI_PROP_SEED
 #                 values (single-case replay determinism)
 #   bench-smoke   microcosts + fig_fault_recovery + the perf-summary
-#                 quartet (fig08_overlap, fig_coherence, fig_contention,
-#                 fig_dht) under
+#                 quintet (fig08_overlap, fig_coherence, fig_contention,
+#                 fig_dht, fig_policy) under
 #                 CLAMPI_BENCH_SMOKE=1, writing results/BENCH_smoke.json
 #                 and the tracked perf summary BENCH_perf.json; every
 #                 harvested "san_diags" value must be 0
@@ -162,6 +162,7 @@ stage_prop_matrix() {
         "clampi:prop_nb_equivalence"
         "clampi:prop_coherence"
         "clampi:prop_contention"
+        "clampi:prop_policy"
         "clampi-apps:prop_dht"
     )
     for seed in "${PROP_SEEDS[@]}"; do
@@ -185,12 +186,12 @@ stage_bench_smoke() {
         --bin fig_fault_recovery -- --json results/BENCH_smoke.json
     test -s results/BENCH_smoke.json
     echo "wrote results/BENCH_smoke.json"
-    echo "-- fig08_overlap + fig_coherence + fig_contention + fig_dht via run_all (smoke, perf summary)"
+    echo "-- fig08_overlap + fig_coherence + fig_contention + fig_dht + fig_policy via run_all (smoke, perf summary)"
     # run_all locates its sibling binaries next to its own executable, so
     # the whole bench package must be built first.
     cargo build -q --offline --release -p clampi-bench
     CLAMPI_BENCH_SMOKE=1 ./target/release/run_all \
-        --only fig08_overlap,fig_coherence,fig_contention,fig_dht \
+        --only fig08_overlap,fig_coherence,fig_contention,fig_dht,fig_policy \
         --json BENCH_perf.json
     test -s BENCH_perf.json
     echo "wrote BENCH_perf.json"
@@ -229,7 +230,7 @@ extract_perf() {
 # threads on whatever machine CI happens to run on), so they are
 # legitimately noisy; everything else in BENCH_perf.json is a
 # deterministic virtual-clock total and is enforced.
-PERF_WARN_ONLY_RE='^fig_contention\.|^fig_dht\.wall_'
+PERF_WARN_ONLY_RE='^fig_contention\.|^fig_dht\.wall_|^fig_policy\.wall_'
 
 # Diffs two perf JSONL files key by key. Enforced keys that drift >2x
 # make the function return nonzero; allowlisted keys and keys present on

@@ -28,6 +28,7 @@ const BINARIES: &[&str] = &[
     "fig_coherence",
     "fig_contention",
     "fig_dht",
+    "fig_policy",
     "fig09_adaptive",
     "fig10_fragmentation",
     "fig11_victim_stats",

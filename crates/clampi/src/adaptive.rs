@@ -13,7 +13,18 @@
 //! Any change requires a cache invalidation, so the controller fires at
 //! most one rule per check and the wrapper counts it as an *adjustment*
 //! (the numbers annotated on the paper's Figs. 9, 12, 15, 17).
+//!
+//! With [`AdaptiveParams::policy_switching`] enabled the controller also
+//! watches the policy lab's shadow hit ratios ([`crate::vcache`]) and can
+//! emit a [`AdjustRule::SwitchPolicy`] decision: swap the live eviction
+//! policy for a shadow policy that beat it. Unlike resizes, a switch does
+//! **not** invalidate the cache — residents stay, only the victim-scoring
+//! rule changes — so it is checked *before* the resize rules. Hysteresis:
+//! the same winner must beat the live policy's shadow ratio by
+//! [`AdaptiveParams::switch_margin`] in two consecutive intervals before
+//! the switch fires, so a single noisy interval cannot flip the policy.
 
+use crate::eviction::VictimScheme;
 use crate::stats::CacheStats;
 
 /// Thresholds, factors and bounds of the adaptive strategy.
@@ -43,6 +54,15 @@ pub struct AdaptiveParams {
     pub index_bounds: (usize, usize),
     /// Bounds on `|S_w|` (bytes).
     pub storage_bounds: (usize, usize),
+    /// Allow [`AdjustRule::SwitchPolicy`] decisions driven by the policy
+    /// lab's shadow hit ratios. Off by default: requires
+    /// [`crate::CacheParams::policy_lab`] to produce shadow statistics,
+    /// and keeping it off preserves the controller's historical (paper
+    /// Fig. 9) decision sequence bit-for-bit.
+    pub policy_switching: bool,
+    /// A shadow policy must beat the live policy's shadow hit ratio by
+    /// this margin (absolute) to become a switch candidate.
+    pub switch_margin: f64,
 }
 
 impl Default for AdaptiveParams {
@@ -60,6 +80,8 @@ impl Default for AdaptiveParams {
             memory_decrease_factor: 2.0,
             index_bounds: (64, 1 << 26),
             storage_bounds: (64 << 10, 4 << 30),
+            policy_switching: false,
+            switch_margin: 0.02,
         }
     }
 }
@@ -73,6 +95,9 @@ pub struct Adjustment {
     pub storage_bytes: usize,
     /// Which rule fired (for logging/figures).
     pub rule: AdjustRule,
+    /// For [`AdjustRule::SwitchPolicy`]: the policy to switch to.
+    /// `None` for every resize rule.
+    pub policy: Option<VictimScheme>,
 }
 
 /// The rule that triggered an adjustment.
@@ -86,6 +111,9 @@ pub enum AdjustRule {
     GrowStorage,
     /// Stable working set with surplus space: storage shrunk.
     ShrinkStorage,
+    /// A shadow policy sustained a better hit ratio: live policy swapped
+    /// (no invalidation — residents survive a switch).
+    SwitchPolicy,
 }
 
 /// The interval-based controller.
@@ -108,6 +136,13 @@ pub struct AdaptiveController {
     // controller mistakes a still-warming cache for an over-provisioned
     // one and shrinks below the working set).
     prev_free: Option<f64>,
+    // The eviction policy currently live in the cache. Kept in sync via
+    // [`AdaptiveController::note_policy`]; the switch rule compares shadow
+    // ratios against this policy's shadow.
+    live_policy: VictimScheme,
+    // Switch hysteresis: the shadow winner of the previous interval. A
+    // switch fires only when the same policy wins two intervals running.
+    pending_winner: Option<VictimScheme>,
 }
 
 impl AdaptiveController {
@@ -122,12 +157,29 @@ impl AdaptiveController {
             last_storage: None,
             storage_shrink_forbidden: false,
             prev_free: None,
+            live_policy: VictimScheme::Full,
+            pending_winner: None,
         }
     }
 
     /// The configured parameters.
     pub fn params(&self) -> &AdaptiveParams {
         &self.params
+    }
+
+    /// Tells the controller which eviction policy is live (call at
+    /// construction and after applying a [`AdjustRule::SwitchPolicy`]
+    /// decision). Resets any half-accumulated switch hysteresis.
+    pub fn note_policy(&mut self, live: VictimScheme) {
+        if live != self.live_policy {
+            self.live_policy = live;
+            self.pending_winner = None;
+        }
+    }
+
+    /// The policy the controller believes is live.
+    pub fn live_policy(&self) -> VictimScheme {
+        self.live_policy
     }
 
     /// Checks the interval statistics; returns a resize decision if a rule
@@ -152,6 +204,43 @@ impl AdaptiveController {
         if self.cooldown {
             self.cooldown = false;
             return None;
+        }
+
+        // Policy switch first: it is cheaper than any resize (no
+        // invalidation), so when shadows say a different policy would hit
+        // more, switching beats growing.
+        if self.params.policy_switching && delta.shadow_gets > 0 {
+            let ratio = |v: VictimScheme| delta.shadow_hit_ratio(v);
+            let live_ratio = ratio(self.live_policy);
+            // Ties favor the incumbent: a challenger must be strictly
+            // better than both the live policy and every earlier scheme
+            // before it can even be considered.
+            let mut winner = self.live_policy;
+            let mut best = live_ratio;
+            for v in VictimScheme::ALL {
+                let r = ratio(v);
+                if r > best {
+                    best = r;
+                    winner = v;
+                }
+            }
+            if winner != self.live_policy && best > live_ratio + self.params.switch_margin {
+                if self.pending_winner == Some(winner) {
+                    // Second consecutive win: switch.
+                    self.pending_winner = None;
+                    self.live_policy = winner;
+                    self.cooldown = true;
+                    return Some(Adjustment {
+                        index_entries,
+                        storage_bytes,
+                        rule: AdjustRule::SwitchPolicy,
+                        policy: Some(winner),
+                    });
+                }
+                self.pending_winner = Some(winner);
+            } else {
+                self.pending_winner = None;
+            }
         }
 
         let p = &self.params;
@@ -252,6 +341,7 @@ impl AdaptiveController {
             index_entries,
             storage_bytes,
             rule,
+            policy: None,
         }
     }
 
@@ -270,6 +360,7 @@ impl AdaptiveController {
             index_entries,
             storage_bytes,
             rule,
+            policy: None,
         }
     }
 }
@@ -471,6 +562,80 @@ mod tests {
             "shrunk to {} bytes",
             adj.storage_bytes
         );
+    }
+
+    /// Extends `s` with one interval of all-hit gets plus shadow counters
+    /// (one shadow get per live get, per-policy shadow hits by index).
+    fn add_shadow_interval(s: &mut CacheStats, gets: u64, hits: [u64; crate::POLICY_COUNT]) {
+        for _ in 0..gets {
+            s.record(AccessType::Hit);
+        }
+        s.shadow_gets += gets;
+        for (acc, h) in s.shadow_hits.iter_mut().zip(hits) {
+            *acc += h;
+        }
+    }
+
+    #[test]
+    fn policy_switch_needs_two_consecutive_wins() {
+        let mut c = AdaptiveController::new(AdaptiveParams {
+            interval: 100,
+            policy_switching: true,
+            ..AdaptiveParams::default()
+        });
+        c.note_policy(VictimScheme::Full);
+        // ALL order: [Full, Temporal, Positional, ExactLru, Lease].
+        // Lease's shadow dominates Full's by far more than the margin.
+        let mut s = CacheStats::default();
+        add_shadow_interval(&mut s, 100, [50, 40, 40, 40, 90]);
+        assert!(
+            c.maybe_adjust(&s, 1024, 1 << 20, 0.5).is_none(),
+            "first winning interval only arms the hysteresis"
+        );
+        add_shadow_interval(&mut s, 100, [50, 40, 40, 40, 90]);
+        let adj = c.maybe_adjust(&s, 1024, 1 << 20, 0.5).unwrap();
+        assert_eq!(adj.rule, AdjustRule::SwitchPolicy);
+        assert_eq!(adj.policy, Some(VictimScheme::Lease));
+        assert_eq!(adj.index_entries, 1024, "switch never resizes");
+        assert_eq!(adj.storage_bytes, 1 << 20);
+        assert_eq!(c.live_policy(), VictimScheme::Lease);
+    }
+
+    #[test]
+    fn policy_switching_is_off_by_default() {
+        let mut c = controller(100);
+        let mut s = CacheStats::default();
+        for _ in 0..2 {
+            add_shadow_interval(&mut s, 100, [10, 0, 0, 0, 95]);
+            assert!(c.maybe_adjust(&s, 1024, 1 << 20, 0.5).is_none());
+        }
+    }
+
+    #[test]
+    fn wins_within_margin_or_interrupted_never_switch() {
+        let mut c = AdaptiveController::new(AdaptiveParams {
+            interval: 100,
+            policy_switching: true,
+            switch_margin: 0.10,
+            ..AdaptiveParams::default()
+        });
+        // Within the margin: 0.58 vs 0.50 < 0.10 -> not even armed.
+        let mut s = CacheStats::default();
+        add_shadow_interval(&mut s, 100, [50, 40, 40, 40, 58]);
+        assert!(c.maybe_adjust(&s, 1024, 1 << 20, 0.5).is_none());
+        // Clear win arms...
+        add_shadow_interval(&mut s, 100, [50, 40, 40, 40, 90]);
+        assert!(c.maybe_adjust(&s, 1024, 1 << 20, 0.5).is_none());
+        // ...but a different winner next interval disarms: no switch.
+        add_shadow_interval(&mut s, 100, [50, 90, 40, 40, 41]);
+        assert!(
+            c.maybe_adjust(&s, 1024, 1 << 20, 0.5).is_none(),
+            "winner changed between intervals: hysteresis must reset"
+        );
+        // And the new winner still needs its own second win.
+        add_shadow_interval(&mut s, 100, [50, 90, 40, 40, 41]);
+        let adj = c.maybe_adjust(&s, 1024, 1 << 20, 0.5).unwrap();
+        assert_eq!(adj.policy, Some(VictimScheme::Temporal));
     }
 
     #[test]

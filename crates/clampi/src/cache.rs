@@ -42,8 +42,10 @@ use clampi_prng::SmallRng;
 use crate::costs::CacheCostModel;
 use crate::eviction::{positional_score, score, temporal_score, VictimScheme};
 use crate::index::{CuckooIndex, EntryId, GetKey, InsertOutcome};
+use crate::lease::LeaseTable;
 use crate::stats::{AccessType, CacheStats};
 use crate::storage::{DescId, Storage};
+use crate::vcache::PolicyLab;
 
 /// The shape of a get's payload, compared for full/partial-hit decisions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -100,6 +102,13 @@ struct Entry {
     /// (0 when the caller does not track versions). The coherence layer
     /// compares it against put-notification records to drop stale data.
     version: u64,
+    /// Absolute lease expiry (a get sequence number) under
+    /// [`VictimScheme::Lease`]; 0 means "no lease assigned" and reads as
+    /// already expired, so entries inherited by a mid-run switch into the
+    /// lease policy are reclaimed first unless a hit renews them. Never
+    /// read by [`ShardCore::racy_probe`], so concurrent readers are
+    /// unaffected.
+    lease: u64,
 }
 
 const NO_DESC: DescId = DescId::MAX;
@@ -161,6 +170,15 @@ pub struct CacheParams {
     /// ([`crate::ShardedCache`]), where each shard has its own lock and
     /// sequence counter.
     pub shards: usize,
+    /// Run the policy lab ([`crate::vcache::PolicyLab`]): one tag-only
+    /// shadow cache per candidate [`VictimScheme`], replaying every get
+    /// and accumulating per-policy shadow hit ratios in
+    /// [`CacheStats`]. Observation-only — no virtual-clock cost, no
+    /// effect on the live cache — so lab-on runs are bit-identical to
+    /// lab-off runs unless a controller acts on the shadow ratios.
+    /// Deterministic-engine ([`RmaCache`]) only: the concurrent front's
+    /// lock-free hit path cannot update shadows without taking writes.
+    pub policy_lab: bool,
 }
 
 impl Default for CacheParams {
@@ -177,6 +195,7 @@ impl Default for CacheParams {
             max_coalesce_bytes: 16 << 10,
             coherence: crate::coherence::CoherenceMode::None,
             shards: 1,
+            policy_lab: false,
         }
     }
 }
@@ -207,6 +226,10 @@ pub(crate) struct EngineCtx {
     /// Resident entries per target rank (grown on demand), so coherence
     /// passes can skip targets with nothing cached in O(1).
     pub(crate) target_counts: Vec<u32>,
+    /// The policy lab's shadow caches ([`CacheParams::policy_lab`]);
+    /// `None` when the lab is off (the default, and always for the
+    /// concurrent front's per-shard contexts).
+    pub(crate) lab: Option<PolicyLab>,
 }
 
 impl EngineCtx {
@@ -252,6 +275,18 @@ pub(crate) struct ShardCore {
     pub(crate) cached_count: usize,
     pending: Vec<EntryId>,
     rng: SmallRng,
+    /// The shard's *live* victim policy. Starts as
+    /// [`CacheParams::victim_scheme`] and changes only through
+    /// [`ShardCore::set_policy`] — per shard, so the concurrent front can
+    /// apply a switch under each shard's existing write lock.
+    policy: VictimScheme,
+    /// The lease predictor ([`crate::lease`]), allocated when the live
+    /// policy is (or becomes) [`VictimScheme::Lease`] and kept across
+    /// invalidations/switches: learned reuse distances describe the
+    /// stream, not the resident set.
+    lease: Option<LeaseTable>,
+    /// Seed for a lazily created lease table (stripe-decorellated).
+    lease_seed: u64,
     /// Recency index (`last` -> entry), maintained only for
     /// [`VictimScheme::ExactLru`]. `last` values are unique: each get
     /// touches at most one entry.
@@ -283,6 +318,9 @@ impl ShardCore {
         } else {
             Vec::new()
         };
+        let lease_seed = shard_seed(params.seed ^ 0x1EA5_E000, stripe);
+        let lease = (params.victim_scheme == VictimScheme::Lease)
+            .then(|| LeaseTable::new(index_cap, lease_seed));
         ShardCore {
             index,
             storage,
@@ -291,9 +329,44 @@ impl ShardCore {
             cached_count: 0,
             pending: Vec::new(),
             rng,
+            policy: params.victim_scheme,
+            lease,
+            lease_seed,
             recency: BTreeMap::new(),
             pin_slab,
         }
+    }
+
+    /// The shard's live victim policy.
+    pub(crate) fn policy(&self) -> VictimScheme {
+        self.policy
+    }
+
+    /// Switches the live victim policy, rebuilding the policy-private
+    /// eviction state: the recency index is reconstructed from the
+    /// resident entries when switching *into* ExactLru (and dropped
+    /// otherwise), and a lease table is created on first switch into
+    /// Lease. Resident entries keep their metadata — inherited entries
+    /// have no lease (0 = expired) and are reclaimed first unless a hit
+    /// renews them. Returns whether the policy actually changed.
+    pub(crate) fn set_policy(&mut self, new: VictimScheme) -> bool {
+        if new == self.policy {
+            return false;
+        }
+        self.recency.clear();
+        if new == VictimScheme::ExactLru {
+            for (i, slot) in self.entries.iter().enumerate() {
+                if let Some(e) = slot {
+                    let prev = self.recency.insert(e.last, i as EntryId);
+                    debug_assert!(prev.is_none(), "recency key collision at {}", e.last);
+                }
+            }
+        }
+        if new == VictimScheme::Lease && self.lease.is_none() {
+            self.lease = Some(LeaseTable::new(self.index.capacity(), self.lease_seed));
+        }
+        self.policy = new;
+        true
     }
 
     fn entry(&self, id: EntryId) -> &Entry {
@@ -325,8 +398,8 @@ impl ShardCore {
         }
     }
 
-    fn lru_enabled(&self, p: &CacheParams) -> bool {
-        p.victim_scheme == VictimScheme::ExactLru
+    fn lru_enabled(&self) -> bool {
+        self.policy == VictimScheme::ExactLru
     }
 
     /// Moves `id` from recency position `old` to `new` (ExactLru only).
@@ -338,7 +411,7 @@ impl ShardCore {
         old: u64,
         new: u64,
     ) {
-        if self.lru_enabled(p) && old != new {
+        if self.lru_enabled() && old != new {
             self.recency.remove(&old);
             let prev = self.recency.insert(new, id);
             debug_assert!(prev.is_none(), "recency key collision at {new}");
@@ -348,8 +421,43 @@ impl ShardCore {
         }
     }
 
-    fn drop_entry(&mut self, p: &CacheParams, cx: &mut EngineCtx, id: EntryId) {
-        if self.lru_enabled(p) {
+    /// Used fraction of this shard's storage arena — the lease table's
+    /// feedback signal for steering the short/long mix.
+    fn storage_pressure(&self) -> f64 {
+        let cap = self.storage.capacity();
+        if cap == 0 {
+            0.0
+        } else {
+            1.0 - self.storage.free_bytes() as f64 / cap as f64
+        }
+    }
+
+    /// Under the lease policy: records this access in the reuse predictor
+    /// and assigns a fresh lease, returning the absolute expiry. Charged
+    /// like a recency update — lease maintenance is real per-access work,
+    /// the price ExactLru pays for its recency index.
+    fn assign_lease(&mut self, p: &CacheParams, cx: &mut EngineCtx, key: &GetKey) -> u64 {
+        let pressure = self.storage_pressure();
+        match self.lease.as_mut() {
+            Some(t) => {
+                cx.charge(p.costs.insert_step_ns);
+                t.observe_and_assign(key.stripe(), cx.seq, pressure)
+            }
+            None => 0,
+        }
+    }
+
+    /// Renews `id`'s lease on a hit (lease policy only).
+    fn renew_lease(&mut self, p: &CacheParams, cx: &mut EngineCtx, id: EntryId, key: &GetKey) {
+        if self.policy != VictimScheme::Lease {
+            return;
+        }
+        let expiry = self.assign_lease(p, cx, key);
+        self.entry_mut(id).lease = expiry;
+    }
+
+    fn drop_entry(&mut self, _p: &CacheParams, cx: &mut EngineCtx, id: EntryId) {
+        if self.lru_enabled() {
             let last = self.entry(id).last;
             self.recency.remove(&last);
         }
@@ -380,6 +488,13 @@ impl ShardCore {
         // Cumulative mean of processed get sizes (the paper's ags).
         cx.ags += (size as f64 - cx.ags) / cx.seq as f64;
         cx.charge(p.costs.lookup_ns);
+        // Policy lab: replay this get through the shadow caches.
+        // Observation-only — shadow counters move, nothing else does, and
+        // no virtual-clock cost is charged (overhead is priced separately
+        // from `shadow_slot_visits` by the benches).
+        if let Some(lab) = cx.lab.as_mut() {
+            lab.observe(key.stripe(), size, cx.seq, cx.ags, &mut cx.stats);
+        }
 
         let Some(id) = self.index.lookup(&key) else {
             return Lookup::Miss;
@@ -412,6 +527,7 @@ impl ShardCore {
             dst.copy_from_slice(self.storage.read(desc, size));
             self.entry_mut(id).last = seq;
             self.touch_recency(p, cx, id, old_last, seq);
+            self.renew_lease(p, cx, id, &key);
             let copy = p.costs.memcpy_cost(size);
             match state {
                 // CACHED: the copy happens right now.
@@ -433,6 +549,7 @@ impl ShardCore {
             let old_last = self.entry(id).last;
             self.entry_mut(id).last = seq;
             self.touch_recency(p, cx, id, old_last, seq);
+            self.renew_lease(p, cx, id, &key);
             cx.stats.partial_hits += 1;
             cx.last_partial_prefix = cached_len;
             Lookup::PartialHit { cached_len }
@@ -452,6 +569,14 @@ impl ShardCore {
         let size = sig.size();
         debug_assert_eq!(data.len(), size);
         cx.stats.bytes_from_network += size as u64;
+        // Lease policy: the miss is an access too — record it in the
+        // reuse predictor (distances across evictions are exactly what
+        // the histogram needs) and lease the new entry up front.
+        let lease = if self.policy == VictimScheme::Lease {
+            self.assign_lease(p, cx, &key)
+        } else {
+            0
+        };
         let id = self.alloc_entry(
             cx,
             Entry {
@@ -463,6 +588,7 @@ impl ShardCore {
                 off: 0,
                 last: cx.seq,
                 version,
+                lease,
             },
         );
 
@@ -484,7 +610,7 @@ impl ShardCore {
                     e.off = off;
                 }
                 self.pending.push(id);
-                if self.lru_enabled(p) {
+                if self.lru_enabled() {
                     let last = self.entry(id).last;
                     let prev = self.recency.insert(last, id);
                     debug_assert!(prev.is_none(), "recency key collision at {last}");
@@ -658,17 +784,28 @@ impl ShardCore {
         }
     }
 
-    fn entry_score(&self, p: &CacheParams, cx: &EngineCtx, id: EntryId) -> f64 {
+    fn entry_score(&self, _p: &CacheParams, cx: &EngineCtx, id: EntryId) -> f64 {
         let e = self.entry(id);
+        if self.policy == VictimScheme::Lease {
+            // Remaining lease under the get-sequence clock: expired
+            // entries go negative and are reclaimed most-expired-first;
+            // unexpired ones fall back to least-lease-left. Used on both
+            // the capacity and the conflicting (Cuckoo path) victim
+            // scans, so one comparison rule governs all lease evictions.
+            return e.lease as f64 - cx.seq as f64;
+        }
         let r_t = temporal_score(e.last, cx.seq);
         let r_p = positional_score(cx.ags, self.storage.adjacent_free(e.desc));
-        score(p.victim_scheme, r_p, r_t)
+        score(self.policy, r_p, r_t)
     }
 
     /// Removes a resident entry found at `slot` and releases its storage.
     fn evict_resident(&mut self, p: &CacheParams, cx: &mut EngineCtx, slot: usize, id: EntryId) {
         let removed = self.index.remove_slot(slot);
         debug_assert!(matches!(removed, Some((_, e)) if e == id));
+        if self.policy == VictimScheme::Lease && self.entry(id).lease <= cx.seq {
+            cx.stats.lease_expiries += 1;
+        }
         self.free_entry_storage(p, cx, id);
         self.drop_entry(p, cx, id);
     }
@@ -710,7 +847,7 @@ impl ShardCore {
         cx: &mut EngineCtx,
         exclude: Option<EntryId>,
     ) -> bool {
-        if self.lru_enabled(p) {
+        if self.lru_enabled() {
             return self.run_exact_lru_eviction(p, cx, exclude);
         }
         let cap = self.index.capacity();
@@ -1020,13 +1157,50 @@ impl RmaCache {
     pub fn new(params: CacheParams) -> Self {
         let n = params.shards.max(1);
         let shards = (0..n).map(|s| ShardCore::new(&params, s, false)).collect();
+        let mut cx = EngineCtx::new();
+        if params.policy_lab {
+            cx.lab = Some(PolicyLab::new(
+                params.index_entries,
+                params.storage_bytes,
+                params.sample_size,
+                params.seed,
+            ));
+        }
         RmaCache {
             shards,
-            cx: EngineCtx::new(),
+            cx,
             rebuilds: 0,
             resize_log: Vec::new(),
             params,
         }
+    }
+
+    /// The live eviction policy.
+    pub fn victim_scheme(&self) -> VictimScheme {
+        self.params.victim_scheme
+    }
+
+    /// Switches the live eviction policy without dropping residents.
+    ///
+    /// Per-shard bookkeeping is rebuilt as needed (ExactLru's recency
+    /// index is reconstructed from resident `last` stamps; a switch into
+    /// Lease lazily builds the reuse predictor). Entries inherited by a
+    /// switch into Lease carry `lease == 0` (already expired), so they are
+    /// reclaimed first unless the stream renews them — a deliberately
+    /// conservative handoff. Returns `true` if the policy actually
+    /// changed; no-op switches cost nothing and are not counted.
+    pub fn set_victim_scheme(&mut self, new: VictimScheme) -> bool {
+        let mut changed = false;
+        for sh in &mut self.shards {
+            changed |= sh.set_policy(new);
+        }
+        if changed {
+            self.params.victim_scheme = new;
+            self.cx.stats.policy_switches += 1;
+            self.cx.stats.adjustments += 1;
+            self.cx.charge(self.params.costs.epoch_hook_ns);
+        }
+        changed
     }
 
     /// Current parameters.
@@ -1259,6 +1433,16 @@ impl RmaCache {
         self.cx.target_counts.clear();
         self.cx.stats.invalidations += 1;
         self.cx.stats.adjustments += 1;
+        // The shadow caches model the live geometry; a resize rebuilds
+        // them empty at the new sizes, mirroring the live invalidation.
+        if self.cx.lab.is_some() {
+            self.cx.lab = Some(PolicyLab::new(
+                self.params.index_entries,
+                self.params.storage_bytes,
+                self.params.sample_size,
+                self.params.seed,
+            ));
+        }
     }
 
     /// Number of entries in the CACHED state.

@@ -31,6 +31,15 @@ pub struct CacheCostModel {
     pub memcpy_base_ns: f64,
     /// Per-byte CPU cost of cache data copies.
     pub memcpy_per_byte_ns: f64,
+    /// One shadow-cache slot inspection in the policy lab
+    /// ([`crate::vcache`]): a tag compare plus a branch over a ~32-byte
+    /// record in a dense array — far cheaper than `evict_visit_ns`,
+    /// which prices a live-index probe with its f64 score computation.
+    /// Shadow work is *never* charged to the live virtual clock (the lab
+    /// is observation-only); this constant exists so benches can price
+    /// the lab's overhead from
+    /// [`crate::CacheStats::shadow_slot_visits`].
+    pub shadow_visit_ns: f64,
 }
 
 impl Default for CacheCostModel {
@@ -43,6 +52,7 @@ impl Default for CacheCostModel {
             epoch_hook_ns: 50.0,
             memcpy_base_ns: 30.0,
             memcpy_per_byte_ns: 0.05,
+            shadow_visit_ns: 2.0,
         }
     }
 }
@@ -59,6 +69,7 @@ impl CacheCostModel {
             epoch_hook_ns: 0.0,
             memcpy_base_ns: 0.0,
             memcpy_per_byte_ns: 0.0,
+            shadow_visit_ns: 0.0,
         }
     }
 

@@ -30,25 +30,50 @@ pub enum VictimScheme {
     /// with the sampled `R_T`): perfect victim recency at the price of a
     /// recency-structure update on every hit.
     ExactLru,
+    /// Lease-based eviction ([`crate::lease`]): every entry carries a
+    /// lease (a predicted reuse distance in get-sequence units, learned
+    /// online from a per-key-stripe reuse histogram); victims are picked
+    /// most-expired-first under the virtual clock, falling back to the
+    /// entry whose lease has the least time left.
+    Lease,
 }
 
+/// Number of candidate victim schemes ([`VictimScheme::ALL`]); sizes the
+/// per-policy shadow-hit counters in [`crate::CacheStats`].
+pub const POLICY_COUNT: usize = 5;
+
 impl VictimScheme {
-    /// Stable label used by the figure binaries.
+    /// Stable label used by the figure binaries. Round-trips through
+    /// [`str::parse`] for every scheme in [`VictimScheme::ALL`].
     pub fn label(&self) -> &'static str {
         match self {
             VictimScheme::Full => "full",
             VictimScheme::Temporal => "temporal",
             VictimScheme::Positional => "positional",
             VictimScheme::ExactLru => "exact-lru",
+            VictimScheme::Lease => "lease",
+        }
+    }
+
+    /// The position of this scheme in [`VictimScheme::ALL`] — the index
+    /// of its shadow-hit counter in [`crate::CacheStats::shadow_hits`].
+    pub fn index(&self) -> usize {
+        match self {
+            VictimScheme::Full => 0,
+            VictimScheme::Temporal => 1,
+            VictimScheme::Positional => 2,
+            VictimScheme::ExactLru => 3,
+            VictimScheme::Lease => 4,
         }
     }
 
     /// All schemes in reporting order.
-    pub const ALL: [VictimScheme; 4] = [
+    pub const ALL: [VictimScheme; POLICY_COUNT] = [
         VictimScheme::Full,
         VictimScheme::Temporal,
         VictimScheme::Positional,
         VictimScheme::ExactLru,
+        VictimScheme::Lease,
     ];
 
     /// The three sampled schemes of the paper's Figs. 10-11.
@@ -57,6 +82,22 @@ impl VictimScheme {
         VictimScheme::Temporal,
         VictimScheme::Positional,
     ];
+}
+
+/// Schemes parse from their [`VictimScheme::label`] form, so benches and
+/// `run_all --only`-style filters can select policies by name.
+impl std::str::FromStr for VictimScheme {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        VictimScheme::ALL
+            .into_iter()
+            .find(|v| v.label() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = VictimScheme::ALL.iter().map(|v| v.label()).collect();
+                format!("unknown victim scheme {s:?} (known: {})", known.join(", "))
+            })
+    }
 }
 
 /// The temporal score `R_T = last / now` (both 1-based get sequence
@@ -90,9 +131,10 @@ pub fn positional_score(ags: f64, adjacent_free: usize) -> f64 {
 pub fn score(scheme: VictimScheme, r_p: f64, r_t: f64) -> f64 {
     match scheme {
         VictimScheme::Full => r_p * r_t,
-        // ExactLru uses its recency index for capacity evictions; on the
-        // (scored) conflicting path it falls back to pure recency.
-        VictimScheme::Temporal | VictimScheme::ExactLru => r_t,
+        // ExactLru uses its recency index and Lease its expiry clock for
+        // capacity evictions; on the (scored) conflicting path both fall
+        // back to pure recency.
+        VictimScheme::Temporal | VictimScheme::ExactLru | VictimScheme::Lease => r_t,
         VictimScheme::Positional => r_p,
     }
 }
@@ -158,6 +200,20 @@ mod tests {
         assert_eq!(score(VictimScheme::Temporal, 0.2, 0.9), 0.9);
         assert_eq!(score(VictimScheme::Positional, 0.2, 0.9), 0.2);
         assert_eq!(score(VictimScheme::Full, 0.2, 0.9), 0.2 * 0.9);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str_exhaustively() {
+        assert_eq!(VictimScheme::ALL.len(), POLICY_COUNT);
+        for (i, v) in VictimScheme::ALL.into_iter().enumerate() {
+            assert_eq!(v.index(), i, "{v:?} out of reporting order");
+            let parsed: VictimScheme = v.label().parse().expect("label must parse");
+            assert_eq!(parsed, v, "label {:?} did not round-trip", v.label());
+        }
+        let err = "no-such-policy".parse::<VictimScheme>().unwrap_err();
+        for v in VictimScheme::ALL {
+            assert!(err.contains(v.label()), "error must list {:?}", v.label());
+        }
     }
 
     #[test]

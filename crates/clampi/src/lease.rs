@@ -1,0 +1,303 @@
+//! Lease-based eviction: predicted reuse distances as expiry clocks.
+//!
+//! Instead of scoring victims at eviction time, the lease policy decides
+//! an entry's lifetime at *access* time: every access assigns the entry a
+//! **lease** — a number of future gets the entry is expected to stay
+//! useful for — and eviction prefers entries whose lease has expired
+//! under the engine's get-sequence clock (the same deterministic counter
+//! that drives the temporal score, so lease runs stay bit-reproducible).
+//!
+//! Leases are *predicted reuse distances*, learned online:
+//!
+//! - every access is recorded in a fixed-size, direct-mapped **last-seen
+//!   tag table**; when the same key returns, the gap between the two
+//!   sequence numbers is its observed reuse distance — measured across
+//!   evictions too, which the resident-entry `last` field alone cannot
+//!   do;
+//! - distances feed per-**stripe** histograms (the key's mixed hash
+//!   selects one of [`STRIPES`] reference groups) with logarithmic
+//!   buckets, periodically halved so the predictor tracks phase changes;
+//! - an assignment draws from a **dual-lease table**: a *short* lease
+//!   (the stripe's median reuse distance) or a *long* one (its 95th
+//!   percentile), the long one chosen with probability `p_long`. Mixing
+//!   the two leases is what lets the policy hit a *target cache size*
+//!   that lies between "keep only the provably-hot half" and "keep
+//!   everything until the tail returns": `p_long` is steered by a
+//!   feedback loop on the observed storage pressure (used fraction of
+//!   the byte budget), shrinking leases when the cache overfills and
+//!   stretching them when space goes unused.
+//!
+//! The table is O(1) per access: one tag-table slot, one histogram
+//! update, two cumulative scans over a fixed 32-bucket histogram.
+//! [`crate::cache`] consults it for the live [`VictimScheme::Lease`]
+//! policy; the tag-only shadow caches in [`crate::vcache`] embed their
+//! own private copies so the lab never perturbs the live predictor.
+//!
+//! [`VictimScheme::Lease`]: crate::VictimScheme::Lease
+
+use clampi_prng::{SmallRng, SplitMix64};
+
+/// Reference groups: reuse histograms are kept per key-hash stripe, so
+/// keys with different reuse behaviour (hot head vs. scanned tail) get
+/// different lease predictions even though the predictor never stores
+/// per-key state.
+pub const STRIPES: usize = 64;
+
+/// Logarithmic reuse-distance buckets: bucket `b` covers distances in
+/// `[2^b, 2^(b+1))`, so 32 buckets reach any practical stream length.
+const BUCKETS: usize = 32;
+
+/// Histogram mass at which counts are halved (sliding the window toward
+/// recent behaviour without storing a full history).
+const DECAY_AT: u64 = 8192;
+
+/// Observations a stripe needs before its quantiles are trusted over the
+/// cold-start default lease.
+const MIN_SAMPLES: u64 = 16;
+
+/// Quantiles of the dual-lease table: the short lease covers the median
+/// reuse, the long lease the distribution's tail.
+const SHORT_Q: f64 = 0.50;
+const LONG_Q: f64 = 0.95;
+
+/// Storage pressure the feedback loop steers towards: just below full,
+/// so the byte budget is used but capacity evictions stay rare.
+const TARGET_PRESSURE: f64 = 0.90;
+
+/// Feedback gain on `p_long` per assignment. Small: `p_long` moves by at
+/// most this much per get, so one noisy pressure reading cannot flip the
+/// mix.
+const GAIN: f64 = 0.01;
+
+/// One stripe's log-bucketed reuse-distance histogram.
+#[derive(Debug, Clone)]
+struct ReuseHistogram {
+    counts: [u32; BUCKETS],
+    total: u64,
+}
+
+impl ReuseHistogram {
+    fn new() -> Self {
+        ReuseHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+
+    fn record(&mut self, distance: u64) {
+        let b = (63 - distance.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.counts[b] += 1;
+        self.total += 1;
+        if self.total >= DECAY_AT {
+            self.total = 0;
+            for c in &mut self.counts {
+                *c /= 2;
+                self.total += u64::from(*c);
+            }
+        }
+    }
+
+    /// Upper bound of the smallest bucket whose cumulative mass reaches
+    /// quantile `q`, i.e. a distance that covers a `q` fraction of the
+    /// observed reuses. `None` until [`MIN_SAMPLES`] observations.
+    fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total < MIN_SAMPLES {
+            return None;
+        }
+        let need = (q * self.total as f64).ceil() as u64;
+        let mut acc = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            acc += u64::from(c);
+            if acc >= need {
+                return Some(1u64 << (b + 1).min(63));
+            }
+        }
+        Some(1u64 << BUCKETS)
+    }
+}
+
+/// The dual-lease probabilistic table: per-stripe reuse histograms, a
+/// last-seen tag table for measuring distances, and the short/long mix
+/// probability steered to a target cache size. See the module docs.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    hists: Vec<ReuseHistogram>,
+    /// Direct-mapped last-seen table: `(tag, last sequence number)`;
+    /// colliding tags overwrite each other (an O(1) approximation that
+    /// loses some distances but never fabricates one).
+    seen: Vec<(u64, u64)>,
+    seen_mask: usize,
+    /// Probability that an assignment takes the long lease.
+    p_long: f64,
+    rng: SmallRng,
+    /// Cold-start lease and the unit of the lease cap, in gets: scaled
+    /// to the number of entries the cache can hold, i.e. roughly one
+    /// cache turnover.
+    scale: u64,
+    /// Leases assigned (short + long).
+    assigned: u64,
+    /// Of those, long leases.
+    long_assigned: u64,
+}
+
+impl LeaseTable {
+    /// A table scaled to a cache that holds about `scale_entries`
+    /// entries; `seed` fixes the probabilistic short/long choice.
+    pub fn new(scale_entries: usize, seed: u64) -> Self {
+        let slots = (scale_entries.max(32) * 2)
+            .next_power_of_two()
+            .clamp(64, 1 << 20);
+        LeaseTable {
+            hists: vec![ReuseHistogram::new(); STRIPES],
+            seen: vec![(0, 0); slots],
+            seen_mask: slots - 1,
+            p_long: 0.5,
+            rng: SmallRng::seed_from_u64(seed ^ 0x1EA5_E5EE_D000_0001),
+            scale: scale_entries.max(32) as u64,
+            assigned: 0,
+            long_assigned: 0,
+        }
+    }
+
+    fn stripe(tag: u64) -> usize {
+        // The tag is already a finalized hash; any bit window is uniform.
+        (tag >> 7) as usize & (STRIPES - 1)
+    }
+
+    /// Records the access to `tag` at sequence number `now` (measuring a
+    /// reuse distance if the tag was seen before) and returns the
+    /// absolute expiry (`now + lease`) of a freshly assigned lease.
+    ///
+    /// `pressure` is the observed used fraction of the byte budget; the
+    /// feedback loop nudges `p_long` so pressure converges to
+    /// [`TARGET_PRESSURE`].
+    pub fn observe_and_assign(&mut self, tag: u64, now: u64, pressure: f64) -> u64 {
+        // Measure and learn.
+        let slot = (SplitMix64::new(tag).next_u64() as usize) & self.seen_mask;
+        let (seen_tag, seen_at) = self.seen[slot];
+        let stripe = Self::stripe(tag);
+        if seen_tag == tag && now > seen_at {
+            self.hists[stripe].record(now - seen_at);
+        }
+        self.seen[slot] = (tag, now);
+
+        // Steer the short/long mix toward the target pressure.
+        if pressure.is_finite() {
+            self.p_long = (self.p_long + GAIN * (TARGET_PRESSURE - pressure)).clamp(0.0, 1.0);
+        }
+
+        // Assign: dual lease, capped at a few cache turnovers so a junk
+        // prediction cannot pin an entry forever.
+        let cap = self.scale.saturating_mul(16);
+        let cold = self.scale * 2;
+        let short = self.hists[stripe]
+            .quantile(SHORT_Q)
+            .unwrap_or(cold)
+            .min(cap);
+        let long = self.hists[stripe]
+            .quantile(LONG_Q)
+            .unwrap_or(cold)
+            .clamp(short, cap);
+        self.assigned += 1;
+        let lease = if self.rng.gen_bool(self.p_long) {
+            self.long_assigned += 1;
+            long
+        } else {
+            short
+        };
+        now.saturating_add(lease)
+    }
+
+    /// The current long-lease probability (diagnostics).
+    pub fn p_long(&self) -> f64 {
+        self.p_long
+    }
+
+    /// `(total, long)` lease assignments so far (diagnostics).
+    pub fn assignments(&self) -> (u64, u64) {
+        (self.assigned, self.long_assigned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_observed_distances() {
+        let mut h = ReuseHistogram::new();
+        for _ in 0..100 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        for _ in 0..5 {
+            h.record(1000); // bucket 9: [512, 1024)
+        }
+        let median = h.quantile(0.5).expect("enough samples");
+        let tail = h.quantile(0.95).expect("enough samples");
+        assert_eq!(median, 16, "median covers the hot mass");
+        assert!(tail >= median);
+    }
+
+    #[test]
+    fn quantile_needs_min_samples() {
+        let mut h = ReuseHistogram::new();
+        for _ in 0..(MIN_SAMPLES - 1) {
+            h.record(8);
+        }
+        assert_eq!(h.quantile(0.5), None);
+        h.record(8);
+        assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn decay_halves_mass_and_keeps_totals_consistent() {
+        let mut h = ReuseHistogram::new();
+        for _ in 0..DECAY_AT {
+            h.record(4);
+        }
+        assert!(h.total < DECAY_AT, "decay must have fired");
+        let sum: u64 = h.counts.iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(sum, h.total);
+    }
+
+    #[test]
+    fn repeated_short_reuse_earns_short_leases() {
+        let mut t = LeaseTable::new(256, 7);
+        let mut now = 0u64;
+        // Key 42 returns every 4 gets; after warm-up its lease should be
+        // far below the cold-start default (2 * scale = 512).
+        let mut last_expiry = 0;
+        for _ in 0..200 {
+            now += 4;
+            last_expiry = t.observe_and_assign(42 << 8, now, 0.9);
+        }
+        let lease = last_expiry - now;
+        assert!(lease <= 64, "predicted lease {lease} for distance-4 reuse");
+    }
+
+    #[test]
+    fn pressure_feedback_steers_p_long() {
+        let mut t = LeaseTable::new(256, 7);
+        for i in 0..500u64 {
+            t.observe_and_assign(i << 8, i, 1.0); // overfull
+        }
+        assert!(t.p_long() < 0.2, "overfull cache must shorten leases");
+        let mut t = LeaseTable::new(256, 7);
+        for i in 0..500u64 {
+            t.observe_and_assign(i << 8, i, 0.1); // mostly empty
+        }
+        assert!(t.p_long() > 0.8, "empty cache must stretch leases");
+    }
+
+    #[test]
+    fn assignments_are_deterministic_under_seed() {
+        let mut a = LeaseTable::new(128, 9);
+        let mut b = LeaseTable::new(128, 9);
+        for i in 0..300u64 {
+            let ea = a.observe_and_assign(i % 40, i, 0.5);
+            let eb = b.observe_and_assign(i % 40, i, 0.5);
+            assert_eq!(ea, eb);
+        }
+        assert_eq!(a.assignments(), b.assignments());
+    }
+}

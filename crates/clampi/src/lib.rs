@@ -71,11 +71,13 @@ pub mod coherence;
 pub mod costs;
 pub mod eviction;
 pub mod index;
+pub mod lease;
 pub mod recovery;
 pub mod shard;
 pub mod stats;
 pub mod storage;
 pub mod trace;
+pub mod vcache;
 pub mod window;
 
 pub use adaptive::{AdaptiveController, AdaptiveParams, AdjustRule, Adjustment};
@@ -83,10 +85,12 @@ pub use blockcache::{BlockCacheConfig, BlockCacheStats, BlockCachedWindow};
 pub use cache::{CacheParams, EntryState, LayoutSig, Lookup, ResizeEvent, RmaCache};
 pub use coherence::CoherenceMode;
 pub use costs::CacheCostModel;
-pub use eviction::VictimScheme;
+pub use eviction::{VictimScheme, POLICY_COUNT};
 pub use index::{CuckooIndex, EntryId, GetKey};
+pub use lease::LeaseTable;
 pub use recovery::RetryPolicy;
 pub use shard::ShardedCache;
 pub use stats::{AccessType, CacheStats};
 pub use trace::{replay, ReplayCosts, ReplayResult, Trace, TraceEvent};
+pub use vcache::{PolicyLab, ShadowCache};
 pub use window::{CachedWindow, ClampiConfig, Mode};

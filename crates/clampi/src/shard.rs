@@ -47,6 +47,7 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use crate::cache::{CacheParams, EngineCtx, LayoutSig, ProbeResult, ShardCore};
+use crate::eviction::VictimScheme;
 use crate::index::GetKey;
 use crate::stats::{AccessType, CacheStats};
 
@@ -245,6 +246,11 @@ impl ShardedCache {
     pub fn insert(&self, key: GetKey, data: &[u8]) -> AccessType {
         let sh = self.shard_of(&key);
         Self::with_write(sh, |state| {
+            // There is no process_lookup on this path, so advance the
+            // shard's logical clock here: each insert is an access event.
+            // Distinct `last` stamps are what temporal victim scoring and
+            // the ExactLru recency index (keyed by `last`) rely on.
+            state.cx.seq += 1;
             // The Cuckoo index forbids duplicate keys: drop any resident
             // entry first (concurrent refresh instead of partial-extend).
             state.core.remove_key(&self.params, &mut state.cx, &key);
@@ -326,6 +332,36 @@ impl ShardedCache {
             .iter()
             .map(|sh| sh.write_locks.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// Switches the eviction policy on every shard, each under its own
+    /// write lock (the seqlock writer protocol), so concurrent optimistic
+    /// readers never observe a torn policy: the policy only steers victim
+    /// selection inside writers, and writers are serialized per shard.
+    /// Returns `true` if the policy actually changed. The hit path is
+    /// untouched — gets still take zero write locks.
+    pub fn set_victim_scheme(&self, new: VictimScheme) -> bool {
+        let mut changed = false;
+        for sh in self.shards.iter() {
+            changed |= Self::with_write(sh, |state| {
+                let flipped = state.core.set_policy(new);
+                if flipped {
+                    state.cx.stats.policy_switches += 1;
+                }
+                flipped
+            });
+        }
+        changed
+    }
+
+    /// The live eviction policy (read from shard 0; all shards switch
+    /// together under [`ShardedCache::set_victim_scheme`]).
+    pub fn victim_scheme(&self) -> VictimScheme {
+        let sh = &self.shards[0];
+        let _g = sh.lock.read().unwrap_or_else(|e| e.into_inner());
+        // SAFETY: read lock held — stable shared view.
+        let state = unsafe { &*sh.state.get() };
+        state.core.policy()
     }
 
     /// Optimistic reads discarded by a failed sequence validation.
@@ -432,6 +468,52 @@ mod tests {
         c.insert(key(0, 0), &[7u8; 32]);
         let mut big = [0u8; 64];
         assert!(!c.get(key(0, 0), &mut big));
+    }
+
+    #[test]
+    fn policy_switches_never_tear_reads_and_keep_gets_lock_free() {
+        let c = Arc::new(cache(4));
+        for i in 0..64u64 {
+            c.insert(key(1, i * 64), &[i as u8; 64]);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut dst = [0u8; 64];
+                    while !stop.load(Ordering::Relaxed) {
+                        for i in 0..64u64 {
+                            if c.get(key(1, i * 64), &mut dst) {
+                                assert_eq!(dst, [i as u8; 64], "torn read during switch");
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Cycle through every policy while readers hammer the shards.
+        for round in 0..50 {
+            let next = VictimScheme::ALL[round % VictimScheme::ALL.len()];
+            c.set_victim_scheme(next);
+        }
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            // xlint: allow(no-unwrap) test: propagate worker panics
+            h.join().unwrap();
+        }
+        // 50 rounds over a 5-cycle starting from the default Full: the
+        // first set (to Full) is a no-op, every other round flips.
+        assert_eq!(c.victim_scheme(), VictimScheme::ALL[49 % 5]);
+        assert!(c.stats().policy_switches > 0);
+        // After switching settles, the hit path is still write-lock free.
+        let before = c.write_lock_acquisitions();
+        let mut dst = [0u8; 64];
+        for _ in 0..500 {
+            c.get(key(1, 0), &mut dst);
+        }
+        assert_eq!(c.write_lock_acquisitions(), before);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! - **failed** — a miss that could not be cached (the get itself still
 //!   succeeds: weak caching).
 
+use crate::eviction::{VictimScheme, POLICY_COUNT};
+
 /// The classification of one processed `get_c`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessType {
@@ -134,6 +136,30 @@ pub struct CacheStats {
     /// optimistic path (fallback after repeated validation failures or a
     /// mid-mutation probe).
     pub locked_reads: u64,
+    /// Live victim-policy switches applied (adaptive [`SwitchPolicy`]
+    /// adjustments plus explicit `set_victim_scheme` calls that changed
+    /// the policy).
+    ///
+    /// [`SwitchPolicy`]: crate::AdjustRule::SwitchPolicy
+    pub policy_switches: u64,
+    /// Victims evicted by the live [`VictimScheme::Lease`] policy whose
+    /// lease had already expired under the get-sequence clock (the
+    /// remainder were reclaimed early, before expiry).
+    ///
+    /// [`VictimScheme::Lease`]: crate::VictimScheme::Lease
+    pub lease_expiries: u64,
+    /// Gets replayed through the policy lab's shadow caches (one per
+    /// get, regardless of how many shadows run).
+    pub shadow_gets: u64,
+    /// Shadow-cache slot inspections across all policies — the lab's
+    /// overhead unit, priced by
+    /// [`CacheCostModel::shadow_visit_ns`](crate::CacheCostModel::shadow_visit_ns)
+    /// but never charged to the live virtual clock.
+    pub shadow_slot_visits: u64,
+    /// Per-policy shadow hits, indexed by
+    /// [`VictimScheme::index`](crate::VictimScheme::index) (the order of
+    /// [`VictimScheme::ALL`](crate::VictimScheme::ALL)).
+    pub shadow_hits: [u64; POLICY_COUNT],
 }
 
 impl CacheStats {
@@ -191,6 +217,12 @@ impl CacheStats {
         ratio(self.visited_slots, self.evictions)
     }
 
+    /// Shadow hit ratio of candidate policy `v` over the gets the policy
+    /// lab replayed (0 when the lab is off).
+    pub fn shadow_hit_ratio(&self, v: VictimScheme) -> f64 {
+        ratio(self.shadow_hits[v.index()], self.shadow_gets)
+    }
+
     /// Difference of counters (self - earlier), for interval-based signals.
     pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
@@ -223,6 +255,11 @@ impl CacheStats {
             version_fetches: self.version_fetches - earlier.version_fetches,
             opt_retries: self.opt_retries - earlier.opt_retries,
             locked_reads: self.locked_reads - earlier.locked_reads,
+            policy_switches: self.policy_switches - earlier.policy_switches,
+            lease_expiries: self.lease_expiries - earlier.lease_expiries,
+            shadow_gets: self.shadow_gets - earlier.shadow_gets,
+            shadow_slot_visits: self.shadow_slot_visits - earlier.shadow_slot_visits,
+            shadow_hits: std::array::from_fn(|i| self.shadow_hits[i] - earlier.shadow_hits[i]),
         }
     }
 
@@ -258,6 +295,13 @@ impl CacheStats {
         self.version_fetches += other.version_fetches;
         self.opt_retries += other.opt_retries;
         self.locked_reads += other.locked_reads;
+        self.policy_switches += other.policy_switches;
+        self.lease_expiries += other.lease_expiries;
+        self.shadow_gets += other.shadow_gets;
+        self.shadow_slot_visits += other.shadow_slot_visits;
+        for (a, b) in self.shadow_hits.iter_mut().zip(other.shadow_hits.iter()) {
+            *a += *b;
+        }
     }
 }
 
@@ -331,6 +375,11 @@ mod tests {
             version_fetches: 12,
             opt_retries: 6,
             locked_reads: 8,
+            policy_switches: 4,
+            lease_expiries: 40,
+            shadow_gets: 100,
+            shadow_slot_visits: 900,
+            shadow_hits: [50, 60, 20, 55, 70],
             ..CacheStats::default()
         };
         let earlier = CacheStats {
@@ -343,6 +392,11 @@ mod tests {
             version_fetches: 2,
             opt_retries: 1,
             locked_reads: 3,
+            policy_switches: 1,
+            lease_expiries: 15,
+            shadow_gets: 30,
+            shadow_slot_visits: 200,
+            shadow_hits: [10, 20, 5, 15, 30],
             ..CacheStats::default()
         };
         let d = a.delta_since(&earlier);
@@ -355,9 +409,32 @@ mod tests {
         assert_eq!(d.version_fetches, 10);
         assert_eq!(d.opt_retries, 5);
         assert_eq!(d.locked_reads, 5);
+        assert_eq!(d.policy_switches, 3);
+        assert_eq!(d.lease_expiries, 25);
+        assert_eq!(d.shadow_gets, 70);
+        assert_eq!(d.shadow_slot_visits, 700);
+        assert_eq!(d.shadow_hits, [40, 40, 15, 40, 40]);
         let mut m = earlier;
         m.merge(&d);
         assert_eq!(m, a);
+    }
+
+    #[test]
+    fn shadow_hit_ratio_is_per_policy() {
+        let s = CacheStats {
+            shadow_gets: 100,
+            shadow_hits: [50, 25, 0, 10, 75],
+            ..CacheStats::default()
+        };
+        assert_eq!(s.shadow_hit_ratio(VictimScheme::Full), 0.5);
+        assert_eq!(s.shadow_hit_ratio(VictimScheme::Temporal), 0.25);
+        assert_eq!(s.shadow_hit_ratio(VictimScheme::Positional), 0.0);
+        assert_eq!(s.shadow_hit_ratio(VictimScheme::ExactLru), 0.1);
+        assert_eq!(s.shadow_hit_ratio(VictimScheme::Lease), 0.75);
+        assert_eq!(
+            CacheStats::default().shadow_hit_ratio(VictimScheme::Full),
+            0.0
+        );
     }
 
     #[test]

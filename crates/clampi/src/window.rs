@@ -167,7 +167,11 @@ impl CachedWindow {
     pub fn wrap(win: Window, cfg: ClampiConfig) -> Self {
         let cache = (cfg.mode != Mode::Disabled).then(|| RmaCache::new(cfg.params.clone()));
         let controller = match (&cache, cfg.adaptive) {
-            (Some(_), Some(ap)) => Some(AdaptiveController::new(ap)),
+            (Some(c), Some(ap)) => {
+                let mut ctrl = AdaptiveController::new(ap);
+                ctrl.note_policy(c.victim_scheme());
+                Some(ctrl)
+            }
             _ => None,
         };
         let degraded = vec![false; win.ntargets()];
@@ -813,7 +817,14 @@ impl CachedWindow {
                 params.storage_bytes,
                 free_fraction,
             ) {
-                cache.resize(adj.index_entries, adj.storage_bytes);
+                match adj.policy {
+                    // A switch keeps residents; only the scoring rule flips.
+                    Some(policy) => {
+                        cache.set_victim_scheme(policy);
+                        ctrl.note_policy(policy);
+                    }
+                    None => cache.resize(adj.index_entries, adj.storage_bytes),
+                }
             }
         }
         let cost = cache.take_cost();
