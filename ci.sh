@@ -24,19 +24,19 @@
 #   test          cargo test -q --offline (workspace)
 #   san-test      the whole test suite again under CLAMPI_SAN=1 (the RMA
 #                 semantics sanitizer armed; run_collect asserts zero
-#                 diagnostics after every simulation), plus a
-#                 fig_fault_recovery smoke run whose `# SAN diags` summary
-#                 must be 0
+#                 diagnostics after every simulation), plus
+#                 fig_fault_recovery and fig_tx smoke runs whose
+#                 `# SAN diags` summaries must be 0
 #   dht-test      the DHT-over-cached-windows property suite (HashMap
 #                 equivalence in every coherence mode) rerun with the
 #                 sanitizer armed; the suite's transient-fault and
 #                 rank-death cases put a fault plan under CLAMPI_SAN=1 in
 #                 the same pass
-#   prop-matrix   the ten property suites under 3 fixed CLAMPI_PROP_SEED
+#   prop-matrix   the eleven property suites under 3 fixed CLAMPI_PROP_SEED
 #                 values (single-case replay determinism)
 #   bench-smoke   microcosts + fig_fault_recovery + the perf-summary
-#                 quintet (fig08_overlap, fig_coherence, fig_contention,
-#                 fig_dht, fig_policy) under
+#                 sextet (fig08_overlap, fig_coherence, fig_contention,
+#                 fig_dht, fig_policy, fig_tx) under
 #                 CLAMPI_BENCH_SMOKE=1, writing results/BENCH_smoke.json
 #                 and the tracked perf summary BENCH_perf.json; every
 #                 harvested "san_diags" value must be 0
@@ -133,6 +133,18 @@ stage_san_test() {
         return 1
     fi
     echo "fig_fault_recovery clean under the sanitizer (# SAN diags 0)"
+    echo "-- fig_tx (smoke) under CLAMPI_SAN=1"
+    # fig_tx skips its wall-clock phase under CLAMPI_SAN (its naive
+    # baseline races reads against puts by design); the deterministic
+    # snapshot phase must come back clean.
+    out=$(CLAMPI_SAN=1 CLAMPI_BENCH_SMOKE=1 cargo run -q --offline --release \
+        -p clampi-bench --bin fig_tx)
+    if ! grep -q "^# SAN diags 0$" <<<"$out"; then
+        echo "FAIL: fig_tx reported sanitizer diagnostics:" >&2
+        grep "^# SAN diags" <<<"$out" >&2 || echo "(no SAN summary line)" >&2
+        return 1
+    fi
+    echo "fig_tx clean under the sanitizer (# SAN diags 0)"
 }
 
 stage_dht_test() {
@@ -163,6 +175,7 @@ stage_prop_matrix() {
         "clampi:prop_coherence"
         "clampi:prop_contention"
         "clampi:prop_policy"
+        "clampi:prop_snapshot"
         "clampi-apps:prop_dht"
     )
     for seed in "${PROP_SEEDS[@]}"; do
@@ -186,12 +199,12 @@ stage_bench_smoke() {
         --bin fig_fault_recovery -- --json results/BENCH_smoke.json
     test -s results/BENCH_smoke.json
     echo "wrote results/BENCH_smoke.json"
-    echo "-- fig08_overlap + fig_coherence + fig_contention + fig_dht + fig_policy via run_all (smoke, perf summary)"
+    echo "-- fig08_overlap + fig_coherence + fig_contention + fig_dht + fig_policy + fig_tx via run_all (smoke, perf summary)"
     # run_all locates its sibling binaries next to its own executable, so
     # the whole bench package must be built first.
     cargo build -q --offline --release -p clampi-bench
     CLAMPI_BENCH_SMOKE=1 ./target/release/run_all \
-        --only fig08_overlap,fig_coherence,fig_contention,fig_dht,fig_policy \
+        --only fig08_overlap,fig_coherence,fig_contention,fig_dht,fig_policy,fig_tx \
         --json BENCH_perf.json
     test -s BENCH_perf.json
     echo "wrote BENCH_perf.json"
@@ -230,7 +243,7 @@ extract_perf() {
 # threads on whatever machine CI happens to run on), so they are
 # legitimately noisy; everything else in BENCH_perf.json is a
 # deterministic virtual-clock total and is enforced.
-PERF_WARN_ONLY_RE='^fig_contention\.|^fig_dht\.wall_|^fig_policy\.wall_'
+PERF_WARN_ONLY_RE='^fig_contention\.|^fig_dht\.wall_|^fig_policy\.wall_|^fig_tx\.wall_'
 
 # Diffs two perf JSONL files key by key. Enforced keys that drift >2x
 # make the function return nonzero; allowlisted keys and keys present on

@@ -8,7 +8,7 @@
 
 use clampi::{
     AccessType, BlockCacheConfig, BlockCacheStats, BlockCachedWindow, CacheStats, CachedWindow,
-    ClampiConfig,
+    ClampiConfig, SnapReq, SnapshotCtx, SnapshotError, SnapshotInfo,
 };
 use clampi_datatype::Datatype;
 use clampi_rma::{Process, Window};
@@ -168,6 +168,64 @@ impl AnyWindow {
             AnyWindow::Native(w) => {
                 w.get(p, dst, target, disp, &dtype, 1);
                 None
+            }
+        }
+    }
+
+    /// A batched read of `reqs` into `dst` (slices packed in request
+    /// order), synchronous: `dst` is safe to consume on return.
+    ///
+    /// - CLaMPI: [`CachedWindow::multi_get`] — the whole batch is
+    ///   **snapshot-consistent** (one timestamp contained in every
+    ///   record's validity interval; stale cached entries are refetched,
+    ///   ring overflow degrades to abort-and-retry). Returns
+    ///   `Ok(Some(info))` on success and `Err` if a target faulted or
+    ///   retries ran out — unlike [`AnyWindow::get_sync`], a snapshot
+    ///   batch never zero-fills;
+    /// - plain window / block cache: sequential reads with **no
+    ///   cross-request consistency guarantee** (each record is still
+    ///   individually atomic per the RMA model). Returns `Ok(None)`.
+    pub fn multi_get(
+        &mut self,
+        p: &mut Process,
+        ctx: &mut SnapshotCtx,
+        reqs: &[SnapReq],
+        dst: &mut [u8],
+    ) -> Result<Option<SnapshotInfo>, SnapshotError> {
+        match self {
+            AnyWindow::Plain(w) => {
+                let mut off = 0;
+                for r in reqs {
+                    let dtype = Datatype::bytes(r.len);
+                    w.iget(
+                        p,
+                        &mut dst[off..off + r.len],
+                        r.target as usize,
+                        r.disp,
+                        &dtype,
+                        1,
+                    );
+                    off += r.len;
+                }
+                w.flush_all(p);
+                Ok(None)
+            }
+            AnyWindow::Clampi(w) => w.multi_get(p, ctx, reqs, dst).map(Some),
+            AnyWindow::Native(w) => {
+                let mut off = 0;
+                for r in reqs {
+                    let dtype = Datatype::bytes(r.len);
+                    w.get(
+                        p,
+                        &mut dst[off..off + r.len],
+                        r.target as usize,
+                        r.disp,
+                        &dtype,
+                        1,
+                    );
+                    off += r.len;
+                }
+                Ok(None)
             }
         }
     }

@@ -58,7 +58,9 @@
 
 mod loc;
 
-use clampi::{AccessType, CacheStats, CachedWindow, ClampiConfig, CoherenceMode};
+use clampi::{
+    AccessType, CacheStats, CachedWindow, ClampiConfig, CoherenceMode, SnapReq, SnapshotCtx,
+};
 use clampi_datatype::Datatype;
 use clampi_prng::SplitMix64;
 use clampi_rma::Process;
@@ -152,6 +154,14 @@ pub struct DhtStats {
     pub updates: u64,
     /// Writes abandoned because the probe chain was full.
     pub insert_fails: u64,
+    /// Batched lookups ([`Dht::multi_get`]) issued.
+    pub multi_gets: u64,
+    /// Keys a batch resolved directly from its snapshot read (found, or
+    /// a definitively-empty home slot).
+    pub multi_get_hits: u64,
+    /// Keys a batch handed to the per-key slow path (probe-chain walk,
+    /// stale location entry, or a batch abort).
+    pub multi_get_fallbacks: u64,
 }
 
 impl DhtStats {
@@ -183,6 +193,8 @@ pub struct Dht {
     loc: Option<LocCache>,
     dtype: Datatype,
     buf: [u8; BUCKET_BYTES],
+    /// Reused snapshot context for [`Dht::multi_get`] batches.
+    snap_ctx: SnapshotCtx,
     stats: DhtStats,
 }
 
@@ -246,6 +258,7 @@ impl Dht {
             loc: (cfg.loc_cache_entries > 0).then(|| LocCache::new(cfg.loc_cache_entries)),
             dtype: Datatype::bytes(BUCKET_BYTES),
             buf: [0u8; BUCKET_BYTES],
+            snap_ctx: SnapshotCtx::new(),
             stats: DhtStats::default(),
         }
     }
@@ -340,6 +353,101 @@ impl Dht {
         }
         self.stats.not_found += 1;
         DhtLookup::NotFound
+    }
+
+    /// Looks up `keys` as one batch: resolves one candidate bucket per
+    /// key (the location cache's remembered slot, else the home slot),
+    /// reads all candidates in a single snapshot-consistent
+    /// [`CachedWindow::multi_get`], and verifies each record's
+    /// fingerprint and key. Keys the snapshot cannot settle — an
+    /// occupied home slot that starts a probe chain, a stale location
+    /// entry, or a batch abort — fall back to the per-key
+    /// [`Dht::lookup`] slow path.
+    ///
+    /// Keys resolved *by the batch* are mutually consistent: they all
+    /// reflect the table at the batch's snapshot timestamp. Fallback
+    /// keys are individually correct but read later state.
+    pub fn multi_get(&mut self, p: &mut Process, keys: &[u64]) -> Vec<DhtLookup> {
+        self.stats.multi_gets += 1;
+        let mut out = vec![DhtLookup::NotFound; keys.len()];
+        // (target, slot, came from the location cache) per batched key.
+        let mut cand: Vec<(usize, usize, bool)> = Vec::with_capacity(keys.len());
+        let mut req_of: Vec<usize> = Vec::with_capacity(keys.len());
+        let mut reqs: Vec<SnapReq> = Vec::with_capacity(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            let (owner, home, _) = self.place(k);
+            let (t, s, from_loc) = match self.loc.as_ref().and_then(|l| l.get(k)) {
+                Some((t, s)) => (t, s, true),
+                None => (owner, home, false),
+            };
+            if self.win.is_degraded(t) {
+                // A known-dead target would abort the whole batch;
+                // settle the key up front like `lookup` would.
+                self.stats.lookups += 1;
+                self.stats.degraded += 1;
+                out[i] = DhtLookup::Degraded;
+                continue;
+            }
+            cand.push((t, s, from_loc));
+            req_of.push(i);
+            reqs.push(SnapReq {
+                target: t as u32,
+                disp: s * BUCKET_BYTES,
+                len: BUCKET_BYTES,
+            });
+        }
+        if reqs.is_empty() {
+            return out;
+        }
+        self.stats.bucket_gets += reqs.len() as u64;
+        let mut dst = vec![0u8; reqs.len() * BUCKET_BYTES];
+        // Disjoint-field borrows: the window and its context.
+        let Dht { win, snap_ctx, .. } = self;
+        match win.multi_get(p, snap_ctx, &reqs, &mut dst) {
+            Ok(_) => {
+                for (bi, &i) in req_of.iter().enumerate() {
+                    let k = keys[i];
+                    let (t, s, from_loc) = cand[bi];
+                    let mut raw = [0u8; BUCKET_BYTES];
+                    raw.copy_from_slice(&dst[bi * BUCKET_BYTES..(bi + 1) * BUCKET_BYTES]);
+                    let b = Bucket::decode(&raw);
+                    let (_, _, fp) = self.place(k);
+                    if b.fp == fp && b.key == k {
+                        self.stats.lookups += 1;
+                        self.stats.found += 1;
+                        self.stats.multi_get_hits += 1;
+                        if from_loc {
+                            self.stats.loc_hits += 1;
+                        } else if let Some(l) = self.loc.as_mut() {
+                            l.install(k, t, s);
+                            self.stats.loc_installs += 1;
+                        }
+                        out[i] = DhtLookup::Found(b.value);
+                    } else if !from_loc && b.fp == 0 {
+                        // The empty home slot terminates the chain
+                        // (insert-only table): definitively absent.
+                        self.stats.lookups += 1;
+                        self.stats.not_found += 1;
+                        self.stats.multi_get_hits += 1;
+                        out[i] = DhtLookup::NotFound;
+                    } else {
+                        // Probe chain or stale location entry: the slow
+                        // path re-reads and does its own bookkeeping.
+                        self.stats.multi_get_fallbacks += 1;
+                        out[i] = self.lookup(p, keys[i]);
+                    }
+                }
+            }
+            Err(_) => {
+                // A target faulted mid-batch (it is now marked
+                // degraded): settle every batched key individually.
+                for &i in &req_of {
+                    self.stats.multi_get_fallbacks += 1;
+                    out[i] = self.lookup(p, keys[i]);
+                }
+            }
+        }
+        out
     }
 
     /// Inserts (or updates in place) `key → value`. **Owner-local**:
@@ -694,6 +802,133 @@ mod tests {
             }
             assert!(hit_dead, "rank {rank} never observed the dead owner");
             assert!(saw_degraded, "rank {rank} did not mark owner degraded");
+        }
+    }
+
+    /// Batched lookups agree with the HashMap reference (and with the
+    /// per-key path) across backends, cold and with a warm location
+    /// cache.
+    #[test]
+    fn multi_get_matches_reference() {
+        let nranks = 4;
+        let keys: Vec<u64> = (0..200u64).map(|i| SplitMix64::new(i).next_u64()).collect();
+        let reference: HashMap<u64, u64> = keys.iter().map(|&k| (k, k.wrapping_mul(3))).collect();
+        let configs: [fn() -> DhtConfig; 3] = [
+            || DhtConfig::new(ClampiConfig::disabled(), 257),
+            || DhtConfig::new(coherent_cfg(CoherenceMode::None), 257),
+            || {
+                DhtConfig::new(coherent_cfg(CoherenceMode::EpochValidate), 257)
+                    .with_location_cache(128)
+            },
+        ];
+        for cfg_of in configs {
+            let results = run_collect(SimConfig::default(), nranks, move |p| {
+                let mut dht = Dht::create(p, cfg_of());
+                let keys: Vec<u64> = (0..200u64).map(|i| SplitMix64::new(i).next_u64()).collect();
+                dht.lock_all(p);
+                let mut ok = true;
+                for &k in &keys {
+                    if dht.owner_of(k) == p.rank() {
+                        ok &= dht.insert(p, k, k.wrapping_mul(3));
+                    }
+                }
+                dht.flush_own_writes(p);
+                p.barrier();
+                dht.validate(p);
+                let mut batch = keys.clone();
+                for i in 1000..1010u64 {
+                    batch.push(SplitMix64::new(i).next_u64());
+                }
+                // Cold batch, then a warm one (location cache primed).
+                let cold = dht.multi_get(p, &batch);
+                let warm = dht.multi_get(p, &batch);
+                dht.unlock_all(p);
+                (batch, cold, warm, ok, dht.stats())
+            });
+            for (_, (batch, cold, warm, ok, stats)) in results {
+                assert!(ok, "inserts failed");
+                for pass in [&cold, &warm] {
+                    for (k, r) in batch.iter().zip(pass) {
+                        match reference.get(k) {
+                            Some(&v) => assert_eq!(*r, DhtLookup::Found(v), "key {k:#x}"),
+                            None => assert_eq!(*r, DhtLookup::NotFound, "key {k:#x}"),
+                        }
+                    }
+                }
+                assert_eq!(stats.multi_gets, 2);
+                assert!(
+                    stats.multi_get_hits > 0,
+                    "some keys must resolve from the snapshot batch"
+                );
+                assert_eq!(
+                    stats.lookups,
+                    2 * batch.len() as u64,
+                    "batch + fallback bookkeeping must cover each key once"
+                );
+                assert_eq!(stats.degraded, 0);
+            }
+        }
+    }
+
+    /// A batch spanning a dead owner degrades per key — dead-owner keys
+    /// come back `Degraded` (or a pre-death cached value), live-owner
+    /// keys stay correct — and the batch abort routes through the
+    /// fallback path.
+    #[test]
+    fn multi_get_dead_owner_degrades_only_that_owner() {
+        let nranks = 3;
+        let dead = 2usize;
+        let body = move |p: &mut Process, _fail: Option<f64>| {
+            let cfg = DhtConfig::new(
+                coherent_cfg(CoherenceMode::EpochValidate).with_retry(RetryPolicy {
+                    max_retries: 16,
+                    ..RetryPolicy::default()
+                }),
+                127,
+            );
+            let mut dht = Dht::create(p, cfg);
+            dht.lock_all(p);
+            let keys: Vec<u64> = (0..60u64).map(|i| SplitMix64::new(i).next_u64()).collect();
+            for &k in &keys {
+                if dht.owner_of(k) == p.rank() {
+                    let _ = dht.insert(p, k, !k);
+                }
+            }
+            dht.flush_own_writes(p);
+            p.barrier();
+            dht.validate(p);
+            let t_before = p.now();
+            let got = dht.multi_get(p, &keys);
+            let owners: Vec<usize> = keys.iter().map(|&k| dht.owner_of(k)).collect();
+            dht.unlock_all(p);
+            (t_before, keys, owners, got, dht.stats())
+        };
+        let dry = run_collect(SimConfig::default(), nranks, move |p| body(p, None));
+        let kill_ns = dry.iter().map(|(_, (t, ..))| *t).fold(0.0f64, f64::max) + 1.0;
+        let cfg = SimConfig::default()
+            .with_faults(FaultConfig::default().with_rank_failure(dead, kill_ns));
+        let results = run_collect(cfg, nranks, move |p| body(p, Some(kill_ns)));
+        for (rank, (_, (_, keys, owners, got, stats))) in results.iter().enumerate() {
+            if rank == dead {
+                continue;
+            }
+            let mut hit_dead = false;
+            for ((k, owner), r) in keys.iter().zip(owners).zip(got) {
+                if *owner == dead {
+                    assert!(
+                        *r == DhtLookup::Degraded || *r == DhtLookup::Found(!*k),
+                        "rank {rank}: dead-owner key {k:#x} returned {r:?}"
+                    );
+                    hit_dead |= *r == DhtLookup::Degraded;
+                } else {
+                    assert_eq!(*r, DhtLookup::Found(!*k), "rank {rank}: live key {k:#x}");
+                }
+            }
+            assert!(hit_dead, "rank {rank} never observed the dead owner");
+            assert!(
+                stats.multi_get_fallbacks > 0,
+                "rank {rank}: the abort must route keys to the slow path"
+            );
         }
     }
 }

@@ -29,6 +29,7 @@ const BINARIES: &[&str] = &[
     "fig_contention",
     "fig_dht",
     "fig_policy",
+    "fig_tx",
     "fig09_adaptive",
     "fig10_fragmentation",
     "fig11_victim_stats",

@@ -43,6 +43,7 @@ use crate::costs::CacheCostModel;
 use crate::eviction::{positional_score, score, temporal_score, VictimScheme};
 use crate::index::{CuckooIndex, EntryId, GetKey, InsertOutcome};
 use crate::lease::LeaseTable;
+use crate::snapshot::SnapStamp;
 use crate::stats::{AccessType, CacheStats};
 use crate::storage::{DescId, Storage};
 use crate::vcache::PolicyLab;
@@ -109,6 +110,13 @@ struct Entry {
     /// read by [`ShardCore::racy_probe`], so concurrent readers are
     /// unaffected.
     lease: u64,
+    /// Snapshot stamp of the payload bytes (see [`crate::snapshot`]):
+    /// staged by the wrapper via [`RmaCache::stage_stamp`] when it read
+    /// the bytes under the region read lock, else an inexact default that
+    /// forces `multi_get` to refetch. Separate from `version`, which stays
+    /// the conservative pre-read peek the coherence layer was built on.
+    /// Never read by [`ShardCore::racy_probe`].
+    snap: SnapStamp,
 }
 
 const NO_DESC: DescId = DescId::MAX;
@@ -223,6 +231,12 @@ pub(crate) struct EngineCtx {
     /// Prefix length served from cache by the most recent PartialHit
     /// lookup (consumed by `finish_partial` for byte accounting).
     pub(crate) last_partial_prefix: usize,
+    /// Snapshot stamp staged by [`RmaCache::stage_stamp`] for the payload
+    /// about to be handed to `finish_miss`/`finish_partial`; consumed (or
+    /// discarded, on a failed insert) by that call. `None` — the default
+    /// for every caller that does not track stamps — yields inexact
+    /// entries, which the snapshot layer simply refetches.
+    pub(crate) staged_stamp: Option<SnapStamp>,
     /// Resident entries per target rank (grown on demand), so coherence
     /// passes can skip targets with nothing cached in O(1).
     pub(crate) target_counts: Vec<u32>,
@@ -577,6 +591,11 @@ impl ShardCore {
         } else {
             0
         };
+        let snap = cx.staged_stamp.take().unwrap_or(SnapStamp {
+            version,
+            ts: 0,
+            exact: false,
+        });
         let id = self.alloc_entry(
             cx,
             Entry {
@@ -589,6 +608,7 @@ impl ShardCore {
                 last: cx.seq,
                 version,
                 lease,
+                snap,
             },
         );
 
@@ -650,9 +670,13 @@ impl ShardCore {
         let size = sig.size();
         debug_assert_eq!(data.len(), size);
         let Some(id) = self.index.lookup(&key) else {
-            // The entry vanished (should not happen between phases).
+            // The entry vanished (should not happen between phases). The
+            // staged stamp, if any, rides along into the miss path.
             return self.finish_miss(p, cx, key, sig, data, version);
         };
+        // Taken unconditionally so a failed extension cannot leak this
+        // call's stamp into a later, unrelated finish.
+        let staged = cx.staged_stamp.take();
         // The wrapper fetched everything beyond the served prefix (which is
         // zero for incompatible layouts).
         cx.stats.bytes_from_network += (size as u64).saturating_sub(cx.last_partial_prefix as u64);
@@ -682,6 +706,22 @@ impl ShardCore {
                     e.sig = sig;
                     e.state = EntryState::Pending;
                     e.version = e.version.min(version);
+                    // Head bytes carry the old entry's stamp, tail bytes
+                    // the staged one; the mix is exact only when both are
+                    // exact at the *same* version (no write in between).
+                    e.snap = match staged {
+                        Some(s) if s.exact && e.snap.exact && s.version == e.snap.version => s,
+                        Some(s) => SnapStamp {
+                            version: e.snap.version.min(s.version),
+                            ts: e.snap.ts.min(s.ts),
+                            exact: false,
+                        },
+                        None => SnapStamp {
+                            version: e.snap.version.min(version),
+                            ts: 0,
+                            exact: false,
+                        },
+                    };
                 }
                 self.cached_count -= 1;
                 self.pending.push(id);
@@ -1280,6 +1320,24 @@ impl RmaCache {
             params, shards, cx, ..
         } = self;
         shards[i].process_lookup(params, cx, key, sig, dst)
+    }
+
+    /// Stages the snapshot stamp for the payload about to be handed to
+    /// the next [`RmaCache::finish_miss`] / [`RmaCache::finish_partial`]
+    /// call, which consumes it (or discards it on failure). Callers that
+    /// never stage get inexact entries, which the snapshot layer refetches
+    /// — so stamp-blind paths (traces, the concurrent front's insert)
+    /// stay correct without changes.
+    pub fn stage_stamp(&mut self, stamp: SnapStamp) {
+        self.cx.staged_stamp = Some(stamp);
+    }
+
+    /// Read-only probe of the snapshot stamp of the resident entry for
+    /// `key` (`None` when nothing is resident). Free in virtual time,
+    /// like the index peek it is.
+    pub fn snap_stamp(&self, key: &GetKey) -> Option<SnapStamp> {
+        let sh = &self.shards[self.shard_idx(key)];
+        sh.index.lookup(key).map(|id| sh.entry(id).snap)
     }
 
     /// Phase 2 after a [`Lookup::Miss`]: `data` is the fetched payload;

@@ -74,6 +74,7 @@ pub mod index;
 pub mod lease;
 pub mod recovery;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod storage;
 pub mod trace;
@@ -90,6 +91,7 @@ pub use index::{CuckooIndex, EntryId, GetKey};
 pub use lease::LeaseTable;
 pub use recovery::RetryPolicy;
 pub use shard::ShardedCache;
+pub use snapshot::{SnapReq, SnapStamp, SnapshotCtx, SnapshotError, SnapshotInfo};
 pub use stats::{AccessType, CacheStats};
 pub use trace::{replay, ReplayCosts, ReplayResult, Trace, TraceEvent};
 pub use vcache::{PolicyLab, ShadowCache};

@@ -1,0 +1,326 @@
+//! Snapshot-consistent multi-get: a transactional read layer over cached
+//! RMA windows.
+//!
+//! PR 4 gave cached reads *per-entry* freshness (version counters plus the
+//! bounded put-notification ring), but a **batch** of gets can still see a
+//! torn mix of old and new data: entry A served from the cache at version
+//! 3, entry B fetched fresh at version 7, with a writer having touched
+//! both in between. This module upgrades version stamps to **validity
+//! intervals** and picks one timestamp contained in all of them, so that a
+//! batch reflects a single — possibly slightly stale, never torn — moment
+//! of the window's history.
+//!
+//! # How a snapshot is chosen
+//!
+//! Every write carries a *commit timestamp* from the window-global commit
+//! clock ([`clampi_rma::PutRecord::ts`]): strictly increasing across all
+//! targets, agreeing with each target's version order. A cache entry (or a
+//! fresh fetch) is stamped with the commit state observed while its bytes
+//! were read ([`SnapStamp`]); draining the notification ring then bounds
+//! the entry's validity interval `[stamp.ts, hi)`, where `hi` is the
+//! commit timestamp of the first later write overlapping the entry (`∞` if
+//! none is known).
+//!
+//! [`choose_timestamp`] intersects the intervals of a whole batch: with
+//! `L = max stamp.ts` and `H = min hi`, any `T` in `[L, H)` is consistent
+//! for every request. The implementation picks the newest such `T` it can
+//! *certify*: `min(cap, H − 1)`, where `cap` is the commit clock sampled
+//! while draining (a write not seen by the drain must commit after `cap`,
+//! so freshness beyond it cannot be promised). Requests whose interval
+//! excludes the candidate (`hi ≤ L`) are refetched — through the
+//! nonblocking/coalescing miss path — and the intersection is retried.
+//!
+//! # Abort conditions
+//!
+//! A validation attempt aborts (and the whole batch retries, bounded by
+//! [`SnapshotCtx::max_attempts`]) when
+//!
+//! - the notification ring **overflowed** past an entry's stamp, so its
+//!   interval cannot be bounded, or
+//! - the bounded refetch rounds ([`SnapshotCtx::max_rounds`]) fail to
+//!   close the intersection under a fast writer.
+//!
+//! Retry attempts bypass the cache entirely (direct fetches with fresh
+//! stamps), so a stale resident entry cannot livelock the batch. A target
+//! **fault** mid-batch surfaces as [`SnapshotError::TargetFaulted`]
+//! immediately — zero-filled fault bytes must never be folded into a
+//! "consistent" snapshot.
+//!
+//! The algorithm itself lives in [`crate::CachedWindow::multi_get`]; this
+//! module holds the types, the reusable scratch context and the pure
+//! interval logic (unit-tested in isolation below).
+
+use clampi_rma::PutRecord;
+use std::ops::Range;
+
+/// Commit-state stamp of one cached payload: the bytes were read while
+/// `target`'s window region was at write `version`, whose commit timestamp
+/// was `ts`.
+///
+/// `exact` distinguishes stamps sampled inside the region read lock
+/// (bytes ⟺ stamp, usable as a snapshot interval's lower bound) from
+/// conservative pre-read peeks or merged partial fills, which only bound
+/// the version from below and force a refetch under [`CachedWindow::multi_get`].
+///
+/// [`CachedWindow::multi_get`]: crate::CachedWindow::multi_get
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapStamp {
+    /// Target-region write version observed with the payload bytes.
+    pub version: u64,
+    /// Commit timestamp of that version (0 = never written / unknown).
+    pub ts: u64,
+    /// Whether the stamp describes the bytes exactly (sampled under the
+    /// region read lock) rather than conservatively.
+    pub exact: bool,
+}
+
+impl SnapStamp {
+    /// An exact stamp.
+    pub fn exact(version: u64, ts: u64) -> Self {
+        SnapStamp {
+            version,
+            ts,
+            exact: true,
+        }
+    }
+}
+
+/// One read of a [`crate::CachedWindow::multi_get`] batch: `len` bytes at
+/// byte displacement `disp` of `target`'s window region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapReq {
+    /// Target rank.
+    pub target: u32,
+    /// Byte displacement into the target's window region.
+    pub disp: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+/// Per-request interval state during validation (scratch, not API).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ReqBound {
+    /// Stamp of the bytes currently in the destination slice.
+    pub(crate) stamp: SnapStamp,
+    /// Exclusive upper bound: commit timestamp of the first known write
+    /// overlapping this request after `stamp.version` (`u64::MAX` when no
+    /// such write is visible in the ring).
+    pub(crate) hi: u64,
+}
+
+/// Outcome summary of a successful [`crate::CachedWindow::multi_get`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// The commit timestamp the batch is consistent at.
+    pub timestamp: u64,
+    /// Requests refetched during validation (beyond the initial gather).
+    pub refetched: u64,
+    /// Validation attempts aborted (ring overflow / rounds exhausted)
+    /// before the one that succeeded.
+    pub aborts: u64,
+    /// Staleness bound in virtual nanoseconds: the drain-time commit
+    /// clock minus the chosen timestamp (0 = provably newest).
+    pub staleness_ns: u64,
+}
+
+/// Why a [`crate::CachedWindow::multi_get`] could not produce a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A target faulted mid-batch; its bytes would be zero-filled, which
+    /// can never be part of a consistent snapshot. The caller decides
+    /// whether to degrade (per-request reads) or propagate.
+    TargetFaulted {
+        /// The faulted target rank.
+        target: u32,
+    },
+    /// `max_attempts` whole-batch retries were exhausted (sustained ring
+    /// overflow or writer pressure).
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::TargetFaulted { target } => {
+                write!(f, "snapshot aborted: target {target} faulted mid-batch")
+            }
+            SnapshotError::RetriesExhausted => {
+                write!(f, "snapshot retries exhausted under writer pressure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Reusable scratch state for snapshot reads: the staged request list of
+/// the `tx_*` API plus every temporary the validation loop needs, so a
+/// steady-state `multi_get` allocates nothing.
+///
+/// Creating (or holding) a context has no effect on the window — the
+/// snapshot subsystem is pay-as-you-go, and runs that never call
+/// [`crate::CachedWindow::multi_get`] are bit-identical to builds without
+/// it.
+#[derive(Debug)]
+pub struct SnapshotCtx {
+    /// Refetch rounds per validation attempt before declaring the attempt
+    /// aborted (each round refetches only the requests whose interval
+    /// excludes the candidate timestamp).
+    pub max_rounds: usize,
+    /// Whole-batch attempts before [`SnapshotError::RetriesExhausted`].
+    /// Attempts after the first bypass the cache entirely.
+    pub max_attempts: usize,
+    /// Staged requests of the `tx_get`/`tx_commit` API.
+    pub(crate) reqs: Vec<SnapReq>,
+    /// Staged destination buffer of the `tx_get`/`tx_commit` API.
+    pub(crate) buf: Vec<u8>,
+    /// Per-request interval state (parallel to the batch).
+    pub(crate) bounds: Vec<ReqBound>,
+    /// Drain scratch for put-notification records.
+    pub(crate) records: Vec<PutRecord>,
+    /// Involved targets, deduplicated.
+    pub(crate) targets: Vec<u32>,
+    /// Indices of requests to refetch in the current round.
+    pub(crate) refetch: Vec<usize>,
+}
+
+impl Default for SnapshotCtx {
+    fn default() -> Self {
+        SnapshotCtx {
+            max_rounds: 4,
+            max_attempts: 4,
+            reqs: Vec::new(),
+            buf: Vec::new(),
+            bounds: Vec::new(),
+            records: Vec::new(),
+            targets: Vec::new(),
+            refetch: Vec::new(),
+        }
+    }
+}
+
+impl SnapshotCtx {
+    /// A context with the default retry bounds.
+    pub fn new() -> Self {
+        SnapshotCtx::default()
+    }
+
+    /// The transaction buffer: after a successful
+    /// [`crate::CachedWindow::tx_commit`], each staged read's payload sits
+    /// at the range its `tx_get` returned.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the staged transaction (see [`crate::CachedWindow::tx_begin`]).
+    pub(crate) fn begin(&mut self) {
+        self.reqs.clear();
+        self.buf.clear();
+    }
+
+    /// Stages one read and reserves its bytes in the transaction buffer,
+    /// returning the range `tx_commit` will fill.
+    pub(crate) fn stage(&mut self, target: u32, disp: usize, len: usize) -> Range<usize> {
+        let start = self.buf.len();
+        self.reqs.push(SnapReq { target, disp, len });
+        self.buf.resize(start + len, 0);
+        start..start + len
+    }
+}
+
+/// Intersects the batch's validity intervals and picks the newest commit
+/// timestamp certifiable from the drains.
+///
+/// `cap` is the minimum over all drained targets of the commit clock
+/// sampled inside the ring lock: any write invisible to the drains
+/// commits strictly after it, so no `T > cap` can be certified. Every
+/// exact stamp was read before its target's drain, hence `stamp.ts ≤ cap`
+/// and the chosen `T = min(cap, H − 1)` always satisfies `T ≥ L`.
+///
+/// Returns `Ok(T)` when the intersection `[L, H)` is non-empty, else
+/// `Err(L)` — the caller refetches every request with `hi ≤ L` (their
+/// intervals ended before the newest request began) and retries.
+pub(crate) fn choose_timestamp(bounds: &[ReqBound], cap: u64) -> Result<u64, u64> {
+    let lo = bounds.iter().map(|b| b.stamp.ts).max().unwrap_or(0);
+    let hi = bounds.iter().map(|b| b.hi).min().unwrap_or(u64::MAX);
+    if hi > lo {
+        // max() is defensive: with correct drains cap ≥ lo always holds.
+        Ok(lo.max(cap.min(hi - 1)))
+    } else {
+        Err(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ts: u64, hi: u64) -> ReqBound {
+        ReqBound {
+            stamp: SnapStamp::exact(ts, ts),
+            hi,
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_consistent_at_the_cap() {
+        assert_eq!(choose_timestamp(&[], 42), Ok(42));
+    }
+
+    #[test]
+    fn unbounded_intervals_pick_the_drain_cap() {
+        // No later writes known: the snapshot is as fresh as the drains
+        // can certify, never fresher.
+        let bounds = [b(3, u64::MAX), b(7, u64::MAX)];
+        assert_eq!(choose_timestamp(&bounds, 100), Ok(100));
+    }
+
+    #[test]
+    fn bounded_interval_caps_at_h_minus_one() {
+        // Request stamped at 3 was overwritten at 10: certifiable range
+        // is [7, 10), newest is 9 even though the clock reads 100.
+        let bounds = [b(3, 10), b(7, u64::MAX)];
+        assert_eq!(choose_timestamp(&bounds, 100), Ok(9));
+    }
+
+    #[test]
+    fn cap_below_h_wins() {
+        let bounds = [b(3, 50), b(7, u64::MAX)];
+        assert_eq!(choose_timestamp(&bounds, 20), Ok(20));
+    }
+
+    #[test]
+    fn touching_intervals_are_still_consistent() {
+        // hi == lo + 1 leaves exactly one timestamp: T == lo.
+        let bounds = [b(3, 8), b(7, u64::MAX)];
+        assert_eq!(choose_timestamp(&bounds, 100), Ok(7));
+    }
+
+    #[test]
+    fn disjoint_intervals_report_the_bar_to_clear() {
+        // Entry invalidated at 5 can never coexist with one created at 7:
+        // the caller must refetch everything with hi ≤ 7.
+        let bounds = [b(3, 5), b(7, u64::MAX)];
+        assert_eq!(choose_timestamp(&bounds, 100), Err(7));
+    }
+
+    #[test]
+    fn defensive_floor_never_returns_below_the_newest_stamp() {
+        // cap < lo cannot happen with correct drains; the floor keeps the
+        // result inside the intersection anyway.
+        let bounds = [b(9, u64::MAX)];
+        assert_eq!(choose_timestamp(&bounds, 2), Ok(9));
+    }
+
+    #[test]
+    fn stage_packs_requests_back_to_back() {
+        let mut cx = SnapshotCtx::new();
+        cx.begin();
+        assert_eq!(cx.stage(1, 0, 8), 0..8);
+        assert_eq!(cx.stage(2, 16, 4), 8..12);
+        assert_eq!(cx.reqs.len(), 2);
+        assert_eq!(cx.buf.len(), 12);
+        cx.begin();
+        assert!(cx.reqs.is_empty() && cx.buf.is_empty());
+    }
+}

@@ -27,6 +27,14 @@ pub enum AccessType {
     /// Cached after a storage eviction freed enough space.
     Capacity,
     /// Not cached: no resources even after one eviction attempt.
+    ///
+    /// **Overloaded under fault injection.** The recovery layer *also*
+    /// classifies degraded and abandoned gets as `Failed`, and those
+    /// deliver a zero-filled payload — whereas the engine's
+    /// could-not-cache `Failed` still delivers the fetched bytes (weak
+    /// caching). The classification alone cannot tell the two apart:
+    /// snapshot `CachedWindow::faulted_gets()` around the operation —
+    /// it moves exactly when the payload was zero-filled by a fault.
     Failed,
 }
 
@@ -160,6 +168,22 @@ pub struct CacheStats {
     /// [`VictimScheme::index`](crate::VictimScheme::index) (the order of
     /// [`VictimScheme::ALL`](crate::VictimScheme::ALL)).
     pub shadow_hits: [u64; POLICY_COUNT],
+    /// Requests read through the snapshot subsystem
+    /// ([`crate::CachedWindow::multi_get`]) — one per request in a batch,
+    /// successful or not.
+    pub snapshot_gets: u64,
+    /// Snapshot requests refetched during validation because their
+    /// validity interval excluded the candidate timestamp (beyond the
+    /// initial gather; each refetch is an uncached network read).
+    pub snapshot_refetches: u64,
+    /// Snapshot validation attempts aborted (notification-ring overflow,
+    /// refetch rounds exhausted, or a mid-batch fault) and retried — or
+    /// given up on — as a whole batch.
+    pub snapshot_aborts: u64,
+    /// Total staleness of successful snapshots in virtual nanoseconds:
+    /// for each batch, the drain-time commit clock minus the chosen
+    /// timestamp (0 = the batch was provably the newest state).
+    pub snapshot_staleness_ns: u64,
 }
 
 impl CacheStats {
@@ -260,6 +284,10 @@ impl CacheStats {
             shadow_gets: self.shadow_gets - earlier.shadow_gets,
             shadow_slot_visits: self.shadow_slot_visits - earlier.shadow_slot_visits,
             shadow_hits: std::array::from_fn(|i| self.shadow_hits[i] - earlier.shadow_hits[i]),
+            snapshot_gets: self.snapshot_gets - earlier.snapshot_gets,
+            snapshot_refetches: self.snapshot_refetches - earlier.snapshot_refetches,
+            snapshot_aborts: self.snapshot_aborts - earlier.snapshot_aborts,
+            snapshot_staleness_ns: self.snapshot_staleness_ns - earlier.snapshot_staleness_ns,
         }
     }
 
@@ -302,6 +330,10 @@ impl CacheStats {
         for (a, b) in self.shadow_hits.iter_mut().zip(other.shadow_hits.iter()) {
             *a += *b;
         }
+        self.snapshot_gets += other.snapshot_gets;
+        self.snapshot_refetches += other.snapshot_refetches;
+        self.snapshot_aborts += other.snapshot_aborts;
+        self.snapshot_staleness_ns += other.snapshot_staleness_ns;
     }
 }
 
@@ -417,6 +449,76 @@ mod tests {
         let mut m = earlier;
         m.merge(&d);
         assert_eq!(m, a);
+    }
+
+    /// A stats value with *every* counter set to a distinct nonzero value.
+    /// Deliberately an exhaustive struct literal — no `..Default()` — so
+    /// adding a `CacheStats` field without wiring it here (and checking it
+    /// through `merge`/`delta_since` below) is a compile error, not a
+    /// silently dropped counter. PRs 4–8 each had to hand-verify this.
+    fn filled(seed: u64) -> CacheStats {
+        let mut n = seed;
+        let mut next = || {
+            n += 1;
+            n
+        };
+        CacheStats {
+            total_gets: next(),
+            hits: next(),
+            partial_hits: next(),
+            direct: next(),
+            conflicting: next(),
+            capacity: next(),
+            failed: next(),
+            evictions: next(),
+            visited_slots: next(),
+            visited_nonempty: next(),
+            invalidations: next(),
+            adjustments: next(),
+            bytes_from_cache: next(),
+            bytes_from_network: next(),
+            retries: next(),
+            timeouts: next(),
+            degraded_gets: next(),
+            abandoned_gets: next(),
+            invalidations_on_failure: next(),
+            coalesced_misses: next(),
+            batched_gets: next(),
+            overlapped_wire_ns: next(),
+            stale_hits_prevented: next(),
+            notifications_drained: next(),
+            notification_overflows: next(),
+            version_fetches: next(),
+            opt_retries: next(),
+            locked_reads: next(),
+            policy_switches: next(),
+            lease_expiries: next(),
+            shadow_gets: next(),
+            shadow_slot_visits: next(),
+            shadow_hits: std::array::from_fn(|_| next()),
+            snapshot_gets: next(),
+            snapshot_refetches: next(),
+            snapshot_aborts: next(),
+            snapshot_staleness_ns: next(),
+        }
+    }
+
+    #[test]
+    fn merge_and_delta_round_trip_every_field() {
+        let a = filled(100);
+        // merge adds every field: folding `a` into zero must reproduce it
+        // exactly (a `+=` line missing from `merge` leaves a zero behind).
+        let mut z = CacheStats::default();
+        z.merge(&a);
+        assert_eq!(z, a, "merge dropped a field");
+        // delta subtracts every field: with b = a ⊕ d, recovering d via
+        // b.delta_since(&a) catches a field copied instead of subtracted.
+        let d = filled(10_000);
+        let mut b = a;
+        b.merge(&d);
+        assert_eq!(b.delta_since(&a), d, "delta_since mishandled a field");
+        // And the two are inverses from zero.
+        assert_eq!(a.delta_since(&CacheStats::default()), a);
     }
 
     #[test]

@@ -27,6 +27,9 @@ use crate::cache::{CacheParams, LayoutSig, Lookup, RmaCache};
 use crate::coherence::{CoherenceMode, CoherenceTracker};
 use crate::index::GetKey;
 use crate::recovery::{with_retry, RetryPolicy};
+use crate::snapshot::{
+    choose_timestamp, ReqBound, SnapReq, SnapStamp, SnapshotCtx, SnapshotError, SnapshotInfo,
+};
 use crate::stats::CacheStats;
 
 /// Operational mode of a caching-enabled window.
@@ -153,6 +156,37 @@ fn contig(len: usize) -> FlatLayout {
     } else {
         FlatLayout::new(vec![Block { offset: 0, len }])
     }
+}
+
+/// The last get's exact snapshot stamp: every get entry point funnels
+/// through `Window::try_get_staged`, which samples version and commit
+/// timestamp inside the target's region read lock — so the stamp
+/// describes the bytes just copied, exactly, at zero virtual-time cost.
+fn exact_stamp(win: &Window) -> SnapStamp {
+    let s = win.last_get_stamp();
+    SnapStamp::exact(s.version, s.ts)
+}
+
+/// Request `i`'s slice of a `multi_get` destination buffer (requests are
+/// laid out back to back, in order).
+fn req_slice<'a>(dst: &'a mut [u8], reqs: &[SnapReq], i: usize) -> &'a mut [u8] {
+    let start: usize = reqs[..i].iter().map(|r| r.len).sum();
+    &mut dst[start..start + reqs[i].len]
+}
+
+/// Why one snapshot validation attempt was abandoned (internal; the
+/// public face is [`SnapshotError`] after the bounded whole-batch retry).
+#[derive(Debug, Clone, Copy)]
+enum SnapAbort {
+    /// A notification ring dropped records past a request's stamp, so its
+    /// validity interval can no longer be bounded.
+    Overflow,
+    /// `SnapshotCtx::max_rounds` refetch rounds failed to close the
+    /// interval intersection under writer pressure.
+    Rounds,
+    /// A target faulted mid-batch (the degraded flag tells persistent
+    /// from transient at the retry decision).
+    Fault(usize),
 }
 
 impl CachedWindow {
@@ -344,6 +378,15 @@ impl CachedWindow {
         self.cache.as_ref()
     }
 
+    /// Zero-cost peek at `target`'s notification-ring horizon (version,
+    /// commit timestamps, evicted-history watermark, global commit
+    /// clock). Benches and tests use it to bound snapshot staleness:
+    /// a successful [`CachedWindow::multi_get`] timestamp is always ≥
+    /// the `dropped_through_ts` watermark observed before the batch.
+    pub fn notify_horizon(&self, target: usize) -> clampi_rma::NotifyHorizon {
+        self.win.notify_horizon(target)
+    }
+
     /// This rank's exposed region, mutable (initialization).
     pub fn local_mut(&self) -> clampi_rma::MappedWriteGuard<'_> {
         self.win.local_mut()
@@ -469,12 +512,21 @@ impl CachedWindow {
                             self.win.try_get_flat(p, dst, target, disp, layout)
                         })
                     };
-                    fetched.map(|()| cache.finish_partial(key, sig, dst, ver))
+                    fetched.map(|()| {
+                        // The fetch's exact stamp (sampled under the
+                        // region read lock, free in virtual time) rides
+                        // into the entry for the snapshot layer.
+                        cache.stage_stamp(exact_stamp(&self.win));
+                        cache.finish_partial(key, sig, dst, ver)
+                    })
                 }
                 Lookup::Miss => with_retry(p, &self.retry, &mut self.fault_stats, |p| {
                     self.win.try_get_flat(p, dst, target, disp, layout)
                 })
-                .map(|()| cache.finish_miss(key, sig, dst, ver)),
+                .map(|()| {
+                    cache.stage_stamp(exact_stamp(&self.win));
+                    cache.finish_miss(key, sig, dst, ver)
+                }),
             };
             let cost = cache.take_cost();
             p.clock_mut().charge_cpu(cost);
@@ -596,7 +648,9 @@ impl CachedWindow {
                     staged,
                     mergeable,
                 );
+                let stamp = exact_stamp(&self.win);
                 let cache = self.cache.as_mut().expect("checked above"); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
+                cache.stage_stamp(stamp);
                 cache.finish_miss(key, sig, dst, ver)
             }),
             Lookup::PartialHit { cached_len } => {
@@ -627,7 +681,9 @@ impl CachedWindow {
                         st,
                         mergeable,
                     );
+                    let stamp = exact_stamp(&self.win);
                     let cache = self.cache.as_mut().expect("checked above"); // xlint: allow(no-unwrap) caching-enabled path: cache checked at entry
+                    cache.stage_stamp(stamp);
                     cache.finish_partial(key, sig, dst, ver)
                 })
             }
@@ -794,6 +850,388 @@ impl CachedWindow {
         if let Err(RmaError::TargetFailed { .. }) = sent {
             self.mark_degraded(p, target);
         }
+    }
+
+    /// A snapshot-consistent batched read (see [`crate::snapshot`]): fills
+    /// `dst` with every request's bytes such that the whole batch reflects
+    /// one commit timestamp of the window's history — possibly slightly
+    /// stale, never a torn mix of old and new data.
+    ///
+    /// The first attempt gathers through the cached nonblocking path
+    /// (hits stay hits, misses coalesce); validation then drains the
+    /// involved targets' notification rings, intersects the requests'
+    /// validity intervals, and refetches — uncached — only the requests
+    /// whose interval excludes the candidate timestamp. Ring overflow or
+    /// exhausted refetch rounds abort the attempt; retry attempts bypass
+    /// the cache entirely so a stale resident entry cannot livelock the
+    /// batch. Unlike [`CachedWindow::get`], a faulted target is reported
+    /// as [`SnapshotError::TargetFaulted`] instead of zero-filling —
+    /// fabricated zeros can never be part of a consistent snapshot.
+    ///
+    /// `dst.len()` must equal the sum of the request lengths; request `i`
+    /// lands at the concatenation offset of the lengths before it.
+    ///
+    /// Works in every [`Mode`] including [`Mode::Disabled`] (all reads
+    /// direct). The cache is left exactly as the gather's ordinary
+    /// `get_nb` calls leave it — the snapshot's internal flushes run *no*
+    /// epoch hook and *no* coherence pass, so a transparent-mode
+    /// invalidation cannot fire mid-batch. Runs that never call this are
+    /// bit-identical — including virtual time — to builds without the
+    /// snapshot subsystem.
+    pub fn multi_get(
+        &mut self,
+        p: &mut Process,
+        ctx: &mut SnapshotCtx,
+        reqs: &[SnapReq],
+        dst: &mut [u8],
+    ) -> Result<SnapshotInfo, SnapshotError> {
+        let total: usize = reqs.iter().map(|r| r.len).sum();
+        assert_eq!(
+            dst.len(),
+            total,
+            "multi_get: dst length {} != batch total {total}",
+            dst.len()
+        );
+        self.fault_stats.snapshot_gets += reqs.len() as u64;
+        if reqs.is_empty() {
+            return Ok(SnapshotInfo::default());
+        }
+        ctx.targets.clear();
+        ctx.targets
+            .extend(reqs.iter().filter(|r| r.len > 0).map(|r| r.target));
+        ctx.targets.sort_unstable();
+        ctx.targets.dedup();
+
+        let mut aborts = 0u64;
+        let mut refetched = 0u64;
+        let mut fault: Option<usize> = None;
+        let mut outcome: Result<SnapshotInfo, SnapshotError> = Err(SnapshotError::RetriesExhausted);
+        for attempt in 0..ctx.max_attempts.max(1) {
+            match self.snapshot_attempt(p, ctx, reqs, dst, attempt > 0, &mut refetched) {
+                Ok(mut info) => {
+                    info.aborts = aborts;
+                    info.refetched = refetched;
+                    outcome = Ok(info);
+                    break;
+                }
+                Err(SnapAbort::Fault(t)) => {
+                    aborts += 1;
+                    fault = Some(t);
+                    if self.degraded[t] {
+                        break; // persistent failure: retrying cannot help
+                    }
+                }
+                Err(SnapAbort::Overflow | SnapAbort::Rounds) => {
+                    aborts += 1;
+                    fault = None;
+                }
+            }
+        }
+        if outcome.is_err() {
+            if let Some(t) = fault {
+                outcome = Err(SnapshotError::TargetFaulted { target: t as u32 });
+            }
+        }
+        self.fault_stats.snapshot_aborts += aborts;
+        self.fault_stats.snapshot_refetches += refetched;
+        if let Ok(info) = &outcome {
+            self.fault_stats.snapshot_staleness_ns += info.staleness_ns;
+        }
+        outcome
+    }
+
+    /// Clears `ctx`'s staged transaction (the lazy face of
+    /// [`CachedWindow::multi_get`]).
+    pub fn tx_begin(&mut self, ctx: &mut SnapshotCtx) {
+        ctx.begin();
+    }
+
+    /// Stages one read in the transaction: no bytes move until
+    /// [`CachedWindow::tx_commit`]. Returns the range of
+    /// [`SnapshotCtx::bytes`] the payload will occupy after the commit.
+    pub fn tx_get(
+        &mut self,
+        ctx: &mut SnapshotCtx,
+        target: usize,
+        disp: usize,
+        len: usize,
+    ) -> std::ops::Range<usize> {
+        ctx.stage(target as u32, disp, len)
+    }
+
+    /// Executes every read staged since [`CachedWindow::tx_begin`] as one
+    /// snapshot batch; on success [`SnapshotCtx::bytes`] holds the
+    /// payloads at the ranges `tx_get` returned.
+    pub fn tx_commit(
+        &mut self,
+        p: &mut Process,
+        ctx: &mut SnapshotCtx,
+    ) -> Result<SnapshotInfo, SnapshotError> {
+        let reqs = std::mem::take(&mut ctx.reqs);
+        let mut buf = std::mem::take(&mut ctx.buf);
+        let r = self.multi_get(p, ctx, &reqs, &mut buf);
+        ctx.reqs = reqs;
+        ctx.buf = buf;
+        r
+    }
+
+    /// One gather + validate pass over the whole batch. `direct` (retry
+    /// attempts) bypasses the cache so stale residents cannot re-abort.
+    fn snapshot_attempt(
+        &mut self,
+        p: &mut Process,
+        ctx: &mut SnapshotCtx,
+        reqs: &[SnapReq],
+        dst: &mut [u8],
+        direct: bool,
+        refetched: &mut u64,
+    ) -> Result<SnapshotInfo, SnapAbort> {
+        // --- Gather: one (possibly cached) read per request, with the
+        // stamp of the bytes that actually landed in `dst`. Stamps are
+        // read immediately after each get — a later get in the batch may
+        // evict the entry a hit was served from.
+        ctx.bounds.clear();
+        ctx.bounds.resize(reqs.len(), ReqBound::default());
+        ctx.refetch.clear();
+        let mut off = 0usize;
+        for (i, r) in reqs.iter().enumerate() {
+            let slice = &mut dst[off..off + r.len];
+            off += r.len;
+            if r.len == 0 {
+                continue; // neutral: lo 0, hi ∞
+            }
+            let target = r.target as usize;
+            if self.degraded[target] {
+                return Err(SnapAbort::Fault(target));
+            }
+            if direct || self.cache.is_none() {
+                let stamp = self
+                    .snap_fetch(p, slice, target, r.disp)
+                    .map_err(|e| self.snap_fault(p, target, e))?;
+                ctx.bounds[i] = ReqBound {
+                    stamp,
+                    hi: u64::MAX,
+                };
+                continue;
+            }
+            let partial0 = self.cache.as_ref().map_or(0, |c| c.stats().partial_hits);
+            let faulted0 = self.faulted_gets();
+            let class = self.get_nb_flat_contig(p, slice, target, r.disp);
+            if self.faulted_gets() > faulted0 {
+                // The slice was zero-filled by the fault path — never
+                // snapshot material (cf. AccessType::Failed vs
+                // faulted_gets disambiguation).
+                return Err(SnapAbort::Fault(target));
+            }
+            let partial = self.cache.as_ref().map_or(0, |c| c.stats().partial_hits) > partial0;
+            let stamp = if partial {
+                // Partial hit: `slice` mixes a cached head with a fresh
+                // tail — no single stamp describes it. Refetch.
+                SnapStamp::default()
+            } else if class == Some(crate::AccessType::Hit) {
+                // Served from a resident entry: use its stamp (inexact
+                // ones — entries from stamp-blind insert paths — refetch).
+                let key = GetKey {
+                    target: r.target,
+                    disp: r.disp as u64,
+                };
+                self.cache
+                    .as_ref()
+                    .and_then(|c| c.snap_stamp(&key))
+                    .unwrap_or_default()
+            } else {
+                // Fetched over the network this call (miss — cached or
+                // not — or pass-through): the window's last-get stamp is
+                // exact for these bytes.
+                exact_stamp(&self.win)
+            };
+            if stamp.exact {
+                ctx.bounds[i] = ReqBound {
+                    stamp,
+                    hi: u64::MAX,
+                };
+            } else {
+                ctx.refetch.push(i);
+            }
+        }
+        // Complete the gathered fetches. Deliberately *not*
+        // `CachedWindow::flush`: no epoch hook (transparent mode would
+        // invalidate the entries being validated) and no coherence pass.
+        for k in 0..ctx.targets.len() {
+            let t = ctx.targets[k] as usize;
+            self.snap_flush(p, t);
+        }
+
+        // --- Validate: bound every interval from the notification rings,
+        // pick a timestamp, refetch what excludes it; bounded rounds.
+        let mut rounds = 0usize;
+        loop {
+            if !ctx.refetch.is_empty() {
+                let todo = std::mem::take(&mut ctx.refetch);
+                for &i in &todo {
+                    let r = reqs[i];
+                    let stamp = self
+                        .snap_fetch(p, req_slice(dst, reqs, i), r.target as usize, r.disp)
+                        .map_err(|e| self.snap_fault(p, r.target as usize, e))?;
+                    ctx.bounds[i] = ReqBound {
+                        stamp,
+                        hi: u64::MAX,
+                    };
+                    *refetched += 1;
+                }
+                for k in 0..ctx.targets.len() {
+                    let t = ctx.targets[k];
+                    if todo.iter().any(|&i| reqs[i].target == t) {
+                        self.snap_flush(p, t as usize);
+                    }
+                }
+                ctx.refetch = todo;
+                ctx.refetch.clear();
+            }
+
+            let mut cap = u64::MAX;
+            let mut now_max = 0u64;
+            for k in 0..ctx.targets.len() {
+                let t = ctx.targets[k] as usize;
+                // Drain from the oldest stamp among this target's
+                // requests: every record a stamped payload could have
+                // missed must be visible, or the interval is unbounded.
+                let cursor = (0..reqs.len())
+                    .filter(|&i| reqs[i].target as usize == t && reqs[i].len > 0)
+                    .map(|i| ctx.bounds[i].stamp.version)
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if cursor == u64::MAX {
+                    continue;
+                }
+                let drained = with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+                    ctx.records.clear();
+                    self.win
+                        .try_drain_notifications(p, t, cursor, &mut ctx.records)
+                })
+                .map_err(|e| self.snap_fault(p, t, e))?;
+                if drained.overflowed {
+                    return Err(SnapAbort::Overflow);
+                }
+                cap = cap.min(drained.now_ts);
+                now_max = now_max.max(drained.now_ts);
+                for rec in &ctx.records {
+                    let (rlo, rhi) = (rec.disp as usize, (rec.disp + rec.len) as usize);
+                    for (i, r) in reqs.iter().enumerate() {
+                        if r.target as usize != t
+                            || r.len == 0
+                            || rec.version <= ctx.bounds[i].stamp.version
+                        {
+                            continue;
+                        }
+                        if rlo < r.disp + r.len && r.disp < rhi {
+                            // First overlapping write after the stamp
+                            // closes the request's validity interval.
+                            ctx.bounds[i].hi = ctx.bounds[i].hi.min(rec.ts);
+                        }
+                    }
+                }
+            }
+            if cap == u64::MAX {
+                // Nothing drained (all-zero-length batch): trivially
+                // consistent at the zero epoch.
+                cap = 0;
+            }
+            match choose_timestamp(&ctx.bounds, cap) {
+                Ok(timestamp) => {
+                    return Ok(SnapshotInfo {
+                        timestamp,
+                        refetched: 0, // totals filled in by multi_get
+                        aborts: 0,
+                        staleness_ns: now_max.saturating_sub(timestamp),
+                    });
+                }
+                Err(lo) => {
+                    rounds += 1;
+                    if rounds >= self.snap_max_rounds(ctx) {
+                        return Err(SnapAbort::Rounds);
+                    }
+                    for (i, r) in reqs.iter().enumerate() {
+                        if r.len > 0 && ctx.bounds[i].hi <= lo {
+                            ctx.refetch.push(i);
+                        }
+                    }
+                    debug_assert!(
+                        !ctx.refetch.is_empty(),
+                        "empty intersection must name a stale request"
+                    );
+                }
+            }
+        }
+    }
+
+    fn snap_max_rounds(&self, ctx: &SnapshotCtx) -> usize {
+        ctx.max_rounds.max(1)
+    }
+
+    /// One direct (cache-bypassing) snapshot fetch through the
+    /// nonblocking/coalescing accounting, returning the bytes' exact
+    /// stamp.
+    fn snap_fetch(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+    ) -> Result<SnapStamp, RmaError> {
+        let len = dst.len();
+        if self.scratch_layout.total_size() != len {
+            self.scratch_layout = contig(len);
+        }
+        let layout = std::mem::replace(&mut self.scratch_layout, contig(0));
+        let staged = with_retry(p, &self.retry, &mut self.fault_stats, |p| {
+            self.win.try_get_staged(p, dst, target, disp, &layout)
+        });
+        self.scratch_layout = layout;
+        staged.map(|st| {
+            self.account_nb_fetch(p, target, disp as u64, (disp + len) as u64, st, true);
+            exact_stamp(&self.win)
+        })
+    }
+
+    /// [`CachedWindow::get_nb_flat`] over a contiguous `dst.len()`-byte
+    /// span, reusing the per-window scratch layout.
+    fn get_nb_flat_contig(
+        &mut self,
+        p: &mut Process,
+        dst: &mut [u8],
+        target: usize,
+        disp: usize,
+    ) -> Option<crate::AccessType> {
+        let len = dst.len();
+        if self.scratch_layout.total_size() != len {
+            self.scratch_layout = contig(len);
+        }
+        let layout = std::mem::replace(&mut self.scratch_layout, contig(0));
+        let r = self.get_nb_flat(p, dst, target, disp, &layout);
+        self.scratch_layout = layout;
+        r
+    }
+
+    /// Completion barrier for the snapshot's own fetches: the wire/overlap
+    /// accounting of [`CachedWindow::flush`] without the epoch hook or a
+    /// coherence pass (both would mutate the cache mid-snapshot).
+    fn snap_flush(&mut self, p: &mut Process, target: usize) {
+        let posted = self.nb_take_posted(Some(target));
+        let blocked0 = p.clock().total_blocked();
+        self.win.flush(p, target);
+        self.nb_credit_overlap(posted, p.clock().total_blocked() - blocked0);
+    }
+
+    /// Books a snapshot-fetch fault: persistent target failures degrade
+    /// the target (dropping its cached entries) exactly like
+    /// [`CachedWindow::get`]'s fault path — but no zero-fill, the batch
+    /// aborts instead.
+    fn snap_fault(&mut self, p: &mut Process, target: usize, e: RmaError) -> SnapAbort {
+        if matches!(e, RmaError::TargetFailed { .. }) {
+            self.mark_degraded(p, target);
+        }
+        SnapAbort::Fault(target)
     }
 
     fn on_epoch_close(&mut self, p: &mut Process) {

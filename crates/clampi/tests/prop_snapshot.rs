@@ -1,0 +1,612 @@
+//! Property tests for the snapshot subsystem (`CLAMPI_PROP_SEED`
+//! replays a single case; `CLAMPI_PROP_CASES` overrides the counts).
+//!
+//! The workload is a lockstep writer/reader: each writer rank owns
+//! `slots` fixed-size records and performs a serially-sequenced stream
+//! of puts (put `j` lands in slot `j % slots` and its payload
+//! *self-identifies*: it encodes `j` plus a checksum over `(j, slot)`,
+//! so a reader can decode exactly which write it observed — and a torn
+//! or mixed record fails its checksum). Rank 0 reads random batches
+//! through [`CachedWindow::multi_get`].
+//!
+//! Properties:
+//!
+//! 1. **prefix consistency, never torn**: decode every record of a batch
+//!    to `j_k`; with `S = max j_k`, every slot `k` must hold exactly the
+//!    last write to `k` in the serial prefix `1..=S` — i.e. the batch
+//!    equals a serial reference execution cut at `S` (per writer, for
+//!    multi-target batches). Checked across coherence modes, ring
+//!    capacities down to 0, transient faults, and `Mode::Disabled`;
+//! 2. **staleness is bounded by the ring horizon**: the chosen timestamp
+//!    is never below the `dropped_through_ts` watermark observed before
+//!    the batch (and never above the commit clock after it);
+//! 3. **an unused `SnapshotCtx` is free**: runs that create but never
+//!    use one are bit-identical (bytes, virtual time, stats) to runs
+//!    without it;
+//! 4. (directed, satellite) a notification-ring overflow arriving during
+//!    validation degrades to abort-and-retry — never a torn batch — and
+//!    the same holds under a transient-fault plan.
+//!
+//! Rank closures never assert: they collect observations, and the test
+//! body checks them after `run_collect` joins. An in-run panic would
+//! strand the peer rank at a barrier and hang the suite instead of
+//! failing it.
+
+use clampi::{
+    CacheParams, CacheStats, CachedWindow, ClampiConfig, CoherenceMode, Mode, RetryPolicy, SnapReq,
+    SnapshotCtx, SnapshotInfo,
+};
+use clampi_datatype::Datatype;
+use clampi_prng::prop::{check, Gen};
+use clampi_prng::SmallRng;
+use clampi_rma::{run_collect, FaultConfig, SimConfig};
+use std::collections::BTreeMap;
+
+/// Observation from a single rank-0 disabled-mode batch: the `multi_get`
+/// outcome (error stringified for cross-thread transport), the batch
+/// bytes, and the sequential-gets reference bytes.
+type DisabledObs = (Result<SnapshotInfo, String>, Vec<u8>, Vec<u8>);
+
+const SLOT: usize = 16;
+
+fn checksum(j: u64, k: usize) -> u64 {
+    j.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (k as u64).wrapping_add(0xABCD_EF01)
+}
+
+fn encode(j: u64, k: usize) -> [u8; SLOT] {
+    let mut b = [0u8; SLOT];
+    b[0..8].copy_from_slice(&j.to_le_bytes());
+    b[8..16].copy_from_slice(&checksum(j, k).to_le_bytes());
+    b
+}
+
+/// Decodes slot `k`'s record, panicking on a torn/corrupt payload.
+/// `0` is the initial (all-zero) state.
+fn decode(k: usize, slice: &[u8]) -> u64 {
+    let j = u64::from_le_bytes(slice[0..8].try_into().unwrap());
+    let c = u64::from_le_bytes(slice[8..16].try_into().unwrap());
+    if j == 0 && c == 0 {
+        return 0;
+    }
+    assert_eq!(
+        c,
+        checksum(j, k),
+        "torn or corrupt record in slot {k} (claims write {j})"
+    );
+    j
+}
+
+/// The last write to slot `k` within the serial prefix `1..=s`
+/// (`0` if the prefix never touched it).
+fn last_write(k: usize, s: u64, slots: u64) -> u64 {
+    let m = (s % slots + slots - (k as u64) % slots) % slots; // (s - k) mod slots
+    if s >= m && s - m >= 1 {
+        s - m
+    } else {
+        0
+    }
+}
+
+/// Asserts one decoded batch is a consistent cut of the serial write
+/// sequence: returns the cut `S` it is consistent at.
+fn assert_prefix_consistent(reads: &[(usize, u64)], slots: u64, j_done: u64) -> u64 {
+    let s = reads.iter().map(|&(_, j)| j).max().unwrap_or(0);
+    assert!(
+        s <= j_done,
+        "batch observed write {s} but only {j_done} were issued"
+    );
+    for &(k, j) in reads {
+        assert_eq!(
+            j,
+            last_write(k, s, slots),
+            "slot {k} is inconsistent with the serial prefix 1..={s} \
+             (a torn mix of old and new data)"
+        );
+    }
+    s
+}
+
+/// One committed batch as observed by the reader rank, checked after
+/// the simulation joins.
+#[derive(Clone, Debug, Default)]
+struct BatchObs {
+    /// `(target, slot)` per request, in request order.
+    reads: Vec<(usize, usize)>,
+    bytes: Vec<u8>,
+    info: SnapshotInfo,
+    /// Max `dropped_through_ts` over the batch's targets, peeked
+    /// *before* the batch.
+    pre_dropped_ts: u64,
+    /// Commit clock peeked after the batch.
+    post_now_ts: u64,
+    /// Writes issued per writer (index `target - 1`) before the batch.
+    j_done: Vec<u64>,
+}
+
+/// Decodes and checks every collected batch.
+fn verify_batches(obs: &[BatchObs], slots: u64) {
+    for b in obs {
+        let mut per_target: BTreeMap<usize, Vec<(usize, u64)>> = BTreeMap::new();
+        for (i, &(t, k)) in b.reads.iter().enumerate() {
+            let j = decode(k, &b.bytes[i * SLOT..(i + 1) * SLOT]);
+            per_target.entry(t).or_default().push((k, j));
+        }
+        for (t, reads) in &per_target {
+            assert_prefix_consistent(reads, slots, b.j_done[t - 1]);
+        }
+        // Staleness bound: the snapshot can never be older than the
+        // ring's evicted-history watermark, nor newer than the commit
+        // clock.
+        assert!(
+            b.info.timestamp >= b.pre_dropped_ts,
+            "timestamp {} below the pre-batch ring horizon {}",
+            b.info.timestamp,
+            b.pre_dropped_ts
+        );
+        assert!(b.info.timestamp <= b.post_now_ts);
+    }
+}
+
+#[derive(Clone)]
+struct Schedule {
+    slots: usize,
+    rounds: usize,
+    reads_per_round: usize,
+    puts_per_round: usize,
+    seed: u64,
+    ring_cap: usize,
+    faults: Option<FaultConfig>,
+}
+
+fn gen_schedule(g: &mut Gen, faulty: bool) -> Schedule {
+    let slots = g.range(4..16usize);
+    Schedule {
+        slots,
+        rounds: g.range(2..6usize),
+        reads_per_round: g.range(2..12usize),
+        puts_per_round: g.range(0..2 * slots),
+        seed: g.u64(),
+        ring_cap: match g.range(0..4u32) {
+            0 => 0,
+            1 => 1,
+            2 => g.range(2..8usize),
+            _ => 8 * slots,
+        },
+        faults: if faulty {
+            Some(FaultConfig::transient(g.range(0.0..0.10), g.u64()))
+        } else {
+            None
+        },
+    }
+}
+
+fn generous_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 64,
+        op_timeout_ns: f64::INFINITY,
+        ..RetryPolicy::default()
+    }
+}
+
+/// Runs the lockstep schedule with `nwriters` writer ranks (targets
+/// `1..=nwriters`); returns the reader's batches, its first commit
+/// error (if any), and its cache stats.
+fn run_schedule(
+    s: &Schedule,
+    mode: Mode,
+    coherence: CoherenceMode,
+    nwriters: usize,
+) -> (Vec<BatchObs>, Option<String>, CacheStats) {
+    let mut sim = SimConfig::default().with_notify_ring_cap(s.ring_cap);
+    if let Some(f) = &s.faults {
+        sim = sim.with_faults(f.clone());
+    }
+    let s = s.clone();
+    let out = run_collect(sim, 1 + nwriters, move |p| {
+        let rank = p.rank();
+        let cfg = match mode {
+            Mode::Disabled => ClampiConfig::disabled(),
+            m => ClampiConfig::fixed(
+                m,
+                CacheParams {
+                    index_entries: 256,
+                    storage_bytes: 64 << 10,
+                    coherence,
+                    ..CacheParams::default()
+                },
+            ),
+        }
+        .with_retry(generous_retry());
+        let mut win = CachedWindow::create(p, s.slots * SLOT, cfg);
+        p.barrier();
+        win.lock_all(p);
+
+        let mut ctx = SnapshotCtx::new();
+        // Every rank draws the same pick stream so the schedule stays
+        // deterministic without cross-rank chatter.
+        let mut picks = SmallRng::seed_from_u64(s.seed ^ 0x51AB);
+        let dtype = Datatype::bytes(SLOT);
+        let mut j_done = vec![0u64; nwriters];
+        let mut obs: Vec<BatchObs> = Vec::new();
+        let mut err: Option<String> = None;
+        for round in 0..s.rounds {
+            let reads: Vec<(usize, usize)> = (0..s.reads_per_round)
+                .map(|_| {
+                    (
+                        1 + picks.gen_range(0..nwriters),
+                        picks.gen_range(0..s.slots),
+                    )
+                })
+                .collect();
+            if rank == 0 && err.is_none() {
+                let reqs: Vec<SnapReq> = reads
+                    .iter()
+                    .map(|&(t, k)| SnapReq {
+                        target: t as u32,
+                        disp: k * SLOT,
+                        len: SLOT,
+                    })
+                    .collect();
+                let mut dst = vec![0u8; reqs.len() * SLOT];
+                let pre_dropped_ts = (1..=nwriters)
+                    .map(|t| win.notify_horizon(t).dropped_through_ts)
+                    .max()
+                    .unwrap_or(0);
+                match win.multi_get(p, &mut ctx, &reqs, &mut dst) {
+                    Ok(info) => obs.push(BatchObs {
+                        reads: reads.clone(),
+                        bytes: dst,
+                        info,
+                        pre_dropped_ts,
+                        post_now_ts: win.notify_horizon(1).now_ts,
+                        j_done: j_done.clone(),
+                    }),
+                    Err(e) => err = Some(e.to_string()),
+                }
+            }
+            p.barrier();
+            for w in 1..=nwriters {
+                for _ in 0..s.puts_per_round {
+                    j_done[w - 1] += 1;
+                    let j = j_done[w - 1];
+                    let k = (j % s.slots as u64) as usize;
+                    if rank == w {
+                        win.put(p, &encode(j, k), w, k * SLOT, &dtype, 1);
+                        win.flush(p, w);
+                    }
+                }
+            }
+            p.barrier();
+            // Exercise interaction with ordinary coherence points.
+            if round % 2 == 1 {
+                win.validate(p);
+            }
+        }
+        win.unlock_all(p);
+        p.barrier();
+        (obs, err, win.stats())
+    });
+    out[0].1.clone()
+}
+
+#[test]
+fn prop_snapshot_batches_are_prefix_consistent() {
+    check("multi_get == serial prefix, all modes", 32, |g| {
+        let s = gen_schedule(g, false);
+        for coherence in [
+            CoherenceMode::None,
+            CoherenceMode::EagerInvalidate,
+            CoherenceMode::EpochValidate,
+        ] {
+            let (obs, err, _) = run_schedule(&s, Mode::AlwaysCache, coherence, 1);
+            assert_eq!(err, None);
+            assert_eq!(obs.len(), s.rounds);
+            verify_batches(&obs, s.slots as u64);
+        }
+        for mode in [Mode::Transparent, Mode::Disabled] {
+            let (obs, err, _) = run_schedule(&s, mode, CoherenceMode::None, 1);
+            assert_eq!(err, None);
+            verify_batches(&obs, s.slots as u64);
+        }
+    });
+}
+
+#[test]
+fn prop_snapshot_survives_transient_faults() {
+    check("prefix consistency under transient faults", 24, |g| {
+        let s = gen_schedule(g, true);
+        assert!(s.faults.is_some());
+        for (mode, coherence) in [
+            (Mode::AlwaysCache, CoherenceMode::None),
+            (Mode::AlwaysCache, CoherenceMode::EagerInvalidate),
+            (Mode::Disabled, CoherenceMode::None),
+        ] {
+            let (obs, err, _) = run_schedule(&s, mode, coherence, 1);
+            assert_eq!(err, None, "transient faults retry to success");
+            verify_batches(&obs, s.slots as u64);
+        }
+    });
+}
+
+/// Two independent writers (ranks 1 and 2), batches spanning both
+/// targets: each target's records must decode to a consistent cut of
+/// *that writer's* serial sequence.
+#[test]
+fn prop_snapshot_is_per_writer_prefix_consistent_across_targets() {
+    check("multi-target batches cut each writer's prefix", 16, |g| {
+        let s = gen_schedule(g, false);
+        let (obs, err, _) = run_schedule(&s, Mode::AlwaysCache, CoherenceMode::None, 2);
+        assert_eq!(err, None);
+        assert_eq!(obs.len(), s.rounds);
+        verify_batches(&obs, s.slots as u64);
+        assert!(obs.iter().any(|b| b.reads.iter().any(|&(t, _)| t == 1)) || s.reads_per_round == 0);
+    });
+}
+
+/// Property 3: creating a `SnapshotCtx` without ever committing a batch
+/// changes nothing — bytes, stats, and virtual time are bit-identical.
+#[test]
+fn prop_unused_snapshot_ctx_is_free() {
+    check("unused SnapshotCtx is bit-identical to none", 8, |g| {
+        let faulty = g.bool();
+        let s = gen_schedule(g, faulty);
+        let run = |with_ctx: bool| {
+            let mut sim = SimConfig::default().with_notify_ring_cap(s.ring_cap);
+            if let Some(f) = &s.faults {
+                sim = sim.with_faults(f.clone());
+            }
+            let s = s.clone();
+            let out = run_collect(sim, 2, move |p| {
+                let rank = p.rank();
+                let cfg = ClampiConfig::fixed(Mode::AlwaysCache, CacheParams::default())
+                    .with_retry(generous_retry());
+                let mut win = CachedWindow::create(p, s.slots * SLOT, cfg);
+                p.barrier();
+                win.lock_all(p);
+                let ctx = with_ctx.then(SnapshotCtx::new);
+                let mut picks = SmallRng::seed_from_u64(s.seed);
+                let dtype = Datatype::bytes(SLOT);
+                let mut bytes = Vec::new();
+                for _ in 0..s.rounds {
+                    if rank == 0 {
+                        for _ in 0..s.reads_per_round {
+                            let k = picks.gen_range(0..s.slots);
+                            let mut buf = vec![0u8; SLOT];
+                            win.get(p, &mut buf, 1, k * SLOT, &dtype, 1);
+                            bytes.push(buf);
+                        }
+                        win.flush(p, 1);
+                    }
+                    p.barrier();
+                    if rank == 1 {
+                        win.put(p, &encode(1, 0), 1, 0, &dtype, 1);
+                        win.flush(p, 1);
+                    }
+                    p.barrier();
+                }
+                win.unlock_all(p);
+                p.barrier();
+                drop(ctx);
+                (bytes, win.stats(), p.now())
+            });
+            out[0].1.clone()
+        };
+        let (b0, st0, t0) = run(false);
+        let (b1, st1, t1) = run(true);
+        assert_eq!(b0, b1, "bytes diverged");
+        assert_eq!(st0, st1, "stats diverged");
+        assert_eq!(t0, t1, "virtual time diverged");
+        assert_eq!(
+            (st0.snapshot_gets, st0.snapshot_aborts),
+            (0, 0),
+            "no snapshot counter may move without a multi_get"
+        );
+    });
+}
+
+/// Directed satellite: ring overflow arriving *during* snapshot
+/// validation (stale cached stamps, flooded ring) degrades to
+/// abort-and-retry — the batch is retried cache-bypassed and comes back
+/// consistent, never torn. Also checked under a transient-fault plan.
+#[test]
+fn overflow_during_validation_aborts_and_retries_never_tears() {
+    const SLOTS: usize = 8;
+    const CAP: usize = 4;
+    const FLOOD: u64 = (CAP + 2) as u64;
+    for faults in [None, Some(FaultConfig::transient(0.08, 0xF00D))] {
+        let mut sim = SimConfig::default().with_notify_ring_cap(CAP);
+        if let Some(f) = &faults {
+            sim = sim.with_faults(f.clone());
+        }
+        let out = run_collect(sim, 2, move |p| {
+            let rank = p.rank();
+            let cfg = ClampiConfig::fixed(
+                Mode::AlwaysCache,
+                CacheParams {
+                    index_entries: 64,
+                    storage_bytes: 16 << 10,
+                    ..CacheParams::default()
+                },
+            )
+            .with_retry(generous_retry());
+            let mut win = CachedWindow::create(p, SLOTS * SLOT, cfg);
+            p.barrier();
+            win.lock_all(p);
+            let mut ctx = SnapshotCtx::new();
+            let reqs: Vec<SnapReq> = (0..SLOTS)
+                .map(|k| SnapReq {
+                    target: 1,
+                    disp: k * SLOT,
+                    len: SLOT,
+                })
+                .collect();
+            let mut dst = vec![0u8; SLOTS * SLOT];
+
+            // Round 1: populate the cache (stamps at version 0).
+            let mut round1: Result<Vec<u8>, String> = Err("not rank 0".into());
+            if rank == 0 {
+                round1 = win
+                    .multi_get(p, &mut ctx, &reqs, &mut dst)
+                    .map(|_| dst.clone())
+                    .map_err(|e| e.to_string());
+            }
+            p.barrier();
+            // Writer floods the ring past its capacity: the cached
+            // stamps' drain cursor is now evicted history.
+            if rank == 1 {
+                let dtype = Datatype::bytes(SLOT);
+                for j in 1..=FLOOD {
+                    let k = (j % SLOTS as u64) as usize;
+                    win.put(p, &encode(j, k), 1, k * SLOT, &dtype, 1);
+                    win.flush(p, 1);
+                }
+            }
+            p.barrier();
+            // Round 2: the gather hits the stale cache; validation's
+            // drain overflows; the batch must abort and retry direct.
+            let mut round2: Result<(Vec<u8>, SnapshotInfo), String> = Err("not rank 0".into());
+            if rank == 0 {
+                round2 = win
+                    .multi_get(p, &mut ctx, &reqs, &mut dst)
+                    .map(|info| (dst.clone(), info))
+                    .map_err(|e| e.to_string());
+            }
+            p.barrier();
+            win.unlock_all(p);
+            p.barrier();
+            (round1, round2, win.stats())
+        });
+        let (round1, round2, stats) = out[0].1.clone();
+        let r1 = round1.expect("initial batch");
+        assert!(r1.iter().all(|&b| b == 0), "fresh window reads zeros");
+        let (bytes, info) = round2.expect("overflow must degrade to retry, not failure");
+        assert!(
+            info.aborts >= 1,
+            "flooded ring past cached stamps must abort at least once"
+        );
+        let reads: Vec<(usize, u64)> = (0..SLOTS)
+            .map(|k| (k, decode(k, &bytes[k * SLOT..(k + 1) * SLOT])))
+            .collect();
+        let s = assert_prefix_consistent(&reads, SLOTS as u64, FLOOD);
+        assert_eq!(
+            s, FLOOD,
+            "the retry reads directly, so it must observe the full flood"
+        );
+        assert!(
+            stats.snapshot_aborts >= 1,
+            "snapshot_aborts must count the overflow abort (faults: {})",
+            faults.is_some()
+        );
+        assert_eq!(stats.snapshot_gets, 2 * SLOTS as u64);
+    }
+}
+
+/// `Mode::Disabled` batches read direct and must equal sequential
+/// uncached gets byte for byte (there is nothing to be stale against).
+#[test]
+fn disabled_mode_multi_get_matches_sequential_gets() {
+    let out = run_collect(SimConfig::default(), 2, |p| {
+        let rank = p.rank();
+        let mut win = CachedWindow::create(p, 4 * SLOT, ClampiConfig::disabled());
+        if rank == 1 {
+            let mut local = win.local_mut();
+            for k in 0..4 {
+                let b = encode((k + 1) as u64, k);
+                local[k * SLOT..(k + 1) * SLOT].copy_from_slice(&b);
+            }
+        }
+        p.barrier();
+        win.lock_all(p);
+        let mut result: Option<DisabledObs> = None;
+        if rank == 0 {
+            let mut ctx = SnapshotCtx::new();
+            let reqs: Vec<SnapReq> = (0..4)
+                .map(|k| SnapReq {
+                    target: 1,
+                    disp: k * SLOT,
+                    len: SLOT,
+                })
+                .collect();
+            let mut dst = vec![0u8; 4 * SLOT];
+            let r = win
+                .multi_get(p, &mut ctx, &reqs, &mut dst)
+                .map_err(|e| e.to_string());
+            let dtype = Datatype::bytes(SLOT);
+            let mut seq = vec![0u8; 4 * SLOT];
+            for k in 0..4 {
+                win.get(
+                    p,
+                    &mut seq[k * SLOT..(k + 1) * SLOT],
+                    1,
+                    k * SLOT,
+                    &dtype,
+                    1,
+                );
+            }
+            win.flush(p, 1);
+            result = Some((r, dst, seq));
+        }
+        p.barrier();
+        win.unlock_all(p);
+        p.barrier();
+        result
+    });
+    let (r, dst, seq) = out[0].1.clone().expect("rank 0 observes");
+    let info = r.expect("fault-free");
+    assert_eq!(info.refetched, 0, "static data needs no refetch");
+    assert_eq!(
+        dst, seq,
+        "disabled-mode batch diverged from sequential gets"
+    );
+}
+
+/// The lazy transactional face: `tx_begin`/`tx_get`/`tx_commit` stage
+/// reads into the context's buffer and are equivalent to one
+/// `multi_get`.
+#[test]
+fn tx_api_stages_and_commits_one_batch() {
+    let out = run_collect(SimConfig::default(), 2, |p| {
+        let rank = p.rank();
+        let cfg = ClampiConfig::fixed(Mode::AlwaysCache, CacheParams::default());
+        let mut win = CachedWindow::create(p, 4 * SLOT, cfg);
+        if rank == 1 {
+            let mut local = win.local_mut();
+            for k in 0..4 {
+                local[k * SLOT..(k + 1) * SLOT].copy_from_slice(&encode((k + 10) as u64, k));
+            }
+        }
+        p.barrier();
+        win.lock_all(p);
+        let mut result = None;
+        if rank == 0 {
+            let mut ctx = SnapshotCtx::new();
+            win.tx_begin(&mut ctx);
+            let r2 = win.tx_get(&mut ctx, 1, 2 * SLOT, SLOT);
+            let r0 = win.tx_get(&mut ctx, 1, 0, SLOT);
+            let tx1 = win
+                .tx_commit(p, &mut ctx)
+                .map(|info| (ctx.bytes()[r2].to_vec(), ctx.bytes()[r0].to_vec(), info))
+                .map_err(|e| e.to_string());
+            let gets_after_tx1 = win.stats().snapshot_gets;
+            // A second transaction must reuse the context cleanly.
+            win.tx_begin(&mut ctx);
+            let r3 = win.tx_get(&mut ctx, 1, 3 * SLOT, SLOT);
+            let tx2 = win
+                .tx_commit(p, &mut ctx)
+                .map(|_| ctx.bytes()[r3].to_vec())
+                .map_err(|e| e.to_string());
+            result = Some((tx1, gets_after_tx1, tx2));
+        }
+        p.barrier();
+        win.unlock_all(p);
+        p.barrier();
+        result
+    });
+    let (tx1, gets_after_tx1, tx2) = out[0].1.clone().expect("rank 0 observes");
+    let (b2, b0, info) = tx1.expect("fault-free");
+    assert_eq!(decode(2, &b2), 12);
+    assert_eq!(decode(0, &b0), 10);
+    assert_eq!(gets_after_tx1, 2);
+    assert_eq!(info.aborts, 0);
+    assert_eq!(decode(3, &tx2.expect("fault-free")), 13);
+}

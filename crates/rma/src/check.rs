@@ -808,6 +808,7 @@ mod tests {
             disp: 0,
             len: 8,
             version,
+            ts: version,
         };
         // In-order drain: clean.
         local.check_drain(&san, 0, 2, &[rec(3), rec(4)], 4);

@@ -57,10 +57,19 @@ pub struct PutRecord {
     pub len: u64,
     /// The target region's version counter after this write.
     pub version: u64,
+    /// The write's commit timestamp on the window-global commit clock:
+    /// strictly increasing across *all* targets, and therefore a total
+    /// order on writes that agrees with per-target version order. The
+    /// snapshot layer picks its read timestamps on this clock.
+    pub ts: u64,
 }
 
 /// Modelled wire size of one [`PutRecord`] notification (what the drain
-/// charges per record as a local memcpy).
+/// charges per record as a local memcpy). Deliberately unchanged when the
+/// commit timestamp was added to the in-memory record: the wire format
+/// ships it as a compact delta against the drain's single clock sample,
+/// fitting in what was alignment padding — so drain costs, and every
+/// virtual time built on them, stay put.
 const PUT_RECORD_BYTES: usize = 24;
 
 /// Result of draining a target's put-notification ring
@@ -75,6 +84,13 @@ pub struct NotifyDrain {
     /// lost ranges are unknown, so the caller must fall back to a full
     /// per-target invalidation. Nothing was appended to the buffer.
     pub overflowed: bool,
+    /// The window-global commit clock, sampled inside the ring lock at
+    /// drain time. Any write to *this target* not visible in this drain
+    /// commits strictly after the sample (its timestamp will exceed
+    /// `now_ts`), so a snapshot reader may safely read "as of" any
+    /// timestamp `<= now_ts` once it has validated against the drained
+    /// records.
+    pub now_ts: u64,
 }
 
 /// A region's monotonic write-version counter plus the bounded ring of
@@ -88,6 +104,14 @@ struct NotifyRing {
     /// Highest version whose record was evicted from the bounded ring
     /// (0 = none): a reader whose cursor is below this has lost records.
     dropped_through: u64,
+    /// Commit timestamp of the region's current version (0 before the
+    /// first write). Sampled together with `version` under the ring lock
+    /// this gives a get an *exact* stamp for the bytes it just copied.
+    last_ts: u64,
+    /// Commit timestamp of the newest evicted record (pairs with
+    /// `dropped_through`): the ring's history horizon on the commit
+    /// clock. A snapshot older than this cannot be validated.
+    dropped_through_ts: u64,
 }
 
 /// Collectively shared window state: one region per rank.
@@ -98,6 +122,12 @@ pub(crate) struct WinShared {
     pub(crate) sizes: Vec<usize>,
     pub(crate) pscw: PscwState,
     notify: Vec<Mutex<NotifyRing>>,
+    /// Window-global commit clock: the timestamp of the most recent write
+    /// to *any* target region. Each write advances it to
+    /// `max(clock + 1, writer's virtual now)`, so timestamps are strictly
+    /// increasing (hence globally unique), agree with per-target version
+    /// order, and track virtual time whenever the writer's clock is ahead.
+    commit_ts: std::sync::atomic::AtomicU64,
     /// Cross-rank RMASAN state (access log + atomic-sync clocks); `None`
     /// when the sanitizer is off.
     san: Option<WinSanShared>,
@@ -120,32 +150,56 @@ impl WinShared {
                         records: VecDeque::new(),
                         cap: notify_ring_cap,
                         dropped_through: 0,
+                        last_ts: 0,
+                        dropped_through_ts: 0,
                     })
                 })
                 .collect(),
             sizes,
             pscw: PscwState::default(),
+            commit_ts: std::sync::atomic::AtomicU64::new(0),
             san: san_enabled.then(|| WinSanShared::new(ntargets)),
         }
     }
 
     /// Records one write of `[disp, disp + len)` at `target`: bumps the
-    /// region version and pushes a notification record, evicting the
-    /// oldest record when the bounded ring is full. Called *after* the
-    /// bytes land (see the ordering note on [`Window::version`]).
-    fn note_put(&self, target: usize, origin: usize, disp: u64, len: u64) {
+    /// region version, stamps the write on the global commit clock, and
+    /// pushes a notification record, evicting the oldest record when the
+    /// bounded ring is full. Called with the target's region write lock
+    /// *held*, after the bytes land (see the ordering note on
+    /// [`Window::version`]): bytes-landed and version-bumped are one
+    /// atomic step for anyone holding the region lock.
+    ///
+    /// `now` is the writer's virtual time in whole nanoseconds; the
+    /// assigned timestamp is `max(commit_clock + 1, now)`.
+    fn note_put(&self, target: usize, origin: usize, disp: u64, len: u64, now: u64) {
+        use std::sync::atomic::Ordering;
         let mut ring = sync::lock(&self.notify[target]);
+        // Assigned inside the ring lock, so per-target timestamp order
+        // matches version order; strict global growth makes it unique.
+        let ts = self
+            .commit_ts
+            // SeqCst: snapshot readers load this clock lock-free and
+            // reason about one total order with this RMW.
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cc| {
+                Some((cc + 1).max(now))
+            })
+            .map(|cc| (cc + 1).max(now))
+            .unwrap_or(now);
         ring.version += 1;
+        ring.last_ts = ts;
         let version = ring.version;
         if ring.cap == 0 {
             // No ring at all: every reader cursor is behind, so every
             // drain reports overflow (always-full-invalidate semantics).
             ring.dropped_through = version;
+            ring.dropped_through_ts = ts;
             return;
         }
         if ring.records.len() == ring.cap {
             if let Some(evicted) = ring.records.pop_front() {
                 ring.dropped_through = evicted.version;
+                ring.dropped_through_ts = evicted.ts;
             }
         }
         ring.records.push_back(PutRecord {
@@ -153,6 +207,7 @@ impl WinShared {
             disp,
             len,
             version,
+            ts,
         });
     }
 }
@@ -256,6 +311,38 @@ pub struct StagedGet {
     pub spike: f64,
 }
 
+/// The `(version, commit-timestamp)` pair of a target region, sampled by
+/// a get *inside its region read lock* ([`Window::last_get_stamp`]).
+/// Writers bump the version inside the region write lock, so the bytes a
+/// get copied correspond *exactly* to this stamp — the foundation the
+/// snapshot layer's validity intervals are built on. `ts` is the commit
+/// timestamp of the write that produced `version` (0 before any write).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GetStamp {
+    /// The target region's write-version counter.
+    pub version: u64,
+    /// Commit timestamp of that version on the window-global clock.
+    pub ts: u64,
+}
+
+/// A zero-cost peek at a target's notification-ring horizon
+/// ([`Window::notify_horizon`]): everything a snapshot reader needs to
+/// bound how far back in commit-clock time the ring can still validate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotifyHorizon {
+    /// The region's current write version.
+    pub version: u64,
+    /// Commit timestamp of that version (0 before any write).
+    pub last_ts: u64,
+    /// Highest version evicted from the bounded ring (0 = none).
+    pub dropped_through: u64,
+    /// Commit timestamp of that evicted version — the oldest point on
+    /// the commit clock the ring can still account for.
+    pub dropped_through_ts: u64,
+    /// The window-global commit clock at peek time.
+    pub now_ts: u64,
+}
+
 /// The per-rank handle to an RMA window.
 ///
 /// Created collectively by [`Process::win_allocate`]; all data-movement and
@@ -274,6 +361,10 @@ pub struct Window {
     /// Reusable one-block layout for contiguous typed gets, so the hot
     /// path does not flatten (heap-allocate) per call.
     scratch_layout: FlatLayout,
+    /// Exact `(version, ts)` stamp of the last get staged through this
+    /// handle, sampled inside the region read lock
+    /// ([`Window::last_get_stamp`]).
+    last_get_stamp: GetStamp,
     /// Rank-local RMASAN state (epoch discipline, outstanding get
     /// destinations, observed versions); `None` when the sanitizer is off.
     san: Option<Box<WinSanLocal>>,
@@ -309,6 +400,7 @@ impl Window {
             pscw_targets: Vec::new(),
             nb_queue: vec![Vec::new(); ntargets],
             scratch_layout: contig_layout(0),
+            last_get_stamp: GetStamp::default(),
             san: san_enabled.then(|| Box::new(WinSanLocal::new(ntargets))),
         }
     }
@@ -680,6 +772,15 @@ impl Window {
         {
             let region = sync::read(&self.shared.regions[target]);
             clampi_datatype::pack(&region[disp..disp + span], layout, dst);
+            // Sampled while the region read lock is still held: writers
+            // bump version/ts inside the write lock, so the bytes just
+            // copied correspond exactly to this stamp. Free in virtual
+            // time, like Window::version (piggybacked on the reply).
+            let ring = sync::lock(&self.shared.notify[target]);
+            self.last_get_stamp = GetStamp {
+                version: ring.version,
+                ts: ring.last_ts,
+            };
         }
         let cost = p.netmodel().transfer_cost(
             self.my_rank,
@@ -848,9 +949,14 @@ impl Window {
         {
             let mut region = sync::write(&self.shared.regions[target]);
             clampi_datatype::unpack(src, &layout, &mut region[disp..disp + span]);
+            self.shared.note_put(
+                target,
+                self.my_rank,
+                disp as u64,
+                span as u64,
+                p.now() as u64,
+            );
         }
-        self.shared
-            .note_put(target, self.my_rank, disp as u64, span as u64);
         let cost = p.netmodel().transfer_cost(
             self.my_rank,
             target,
@@ -950,9 +1056,14 @@ impl Window {
                 }
                 cursor += b.len;
             }
+            self.shared.note_put(
+                target,
+                self.my_rank,
+                disp as u64,
+                span as u64,
+                p.now() as u64,
+            );
         }
-        self.shared
-            .note_put(target, self.my_rank, disp as u64, span as u64);
         let cost = p.netmodel().transfer_cost(
             self.my_rank,
             target,
@@ -1003,9 +1114,10 @@ impl Window {
             let cur = u64::from_le_bytes(le8(&region[disp..disp + 8]));
             let new = op(cur, operand);
             region[disp..disp + 8].copy_from_slice(&new.to_le_bytes());
+            self.shared
+                .note_put(target, self.my_rank, disp as u64, 8, p.now() as u64);
             cur
         };
-        self.shared.note_put(target, self.my_rank, disp as u64, 8);
         let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
         p.clock_mut().charge_cpu(cost.cpu_ns);
         // Synchronous round trip: the wire time is paid now.
@@ -1045,12 +1157,11 @@ impl Window {
             let cur = u64::from_le_bytes(le8(&region[disp..disp + 8]));
             if cur == expected {
                 region[disp..disp + 8].copy_from_slice(&desired.to_le_bytes());
+                self.shared
+                    .note_put(target, self.my_rank, disp as u64, 8, p.now() as u64);
             }
             cur
         };
-        if prev == expected {
-            self.shared.note_put(target, self.my_rank, disp as u64, 8);
-        }
         let cost = p.netmodel().transfer_cost(self.my_rank, target, 8, 1);
         p.clock_mut().charge_cpu(cost.cpu_ns);
         p.clock_mut().charge_cpu(cost.wire_ns);
@@ -1070,12 +1181,47 @@ impl Window {
     /// stamp entries at fill time for free. Use
     /// [`Window::try_fetch_version`] for an explicitly charged fetch.
     ///
-    /// **Ordering.** Writers update the region bytes first and bump the
-    /// version after; stamp-then-copy readers therefore can only stamp an
-    /// entry *older* than the bytes it holds — conservative (at worst an
-    /// unnecessary invalidation later), never stale-marked-fresh.
+    /// **Ordering.** Writers update the region bytes and bump the version
+    /// *inside the region write lock* (bytes first, then the bump, as one
+    /// atomic step for anyone holding the region lock). A bare peek like
+    /// this one takes no region lock, so a stamp-then-copy reader can
+    /// still only stamp an entry *older* than the bytes it holds —
+    /// conservative (at worst an unnecessary invalidation later), never
+    /// stale-marked-fresh. A get that samples the counter while holding
+    /// the region read lock gets an *exact* stamp; that is what
+    /// [`Window::last_get_stamp`] exposes.
     pub fn version(&self, target: usize) -> u64 {
         sync::lock(&self.shared.notify[target]).version
+    }
+
+    /// The exact [`GetStamp`] of the last get staged through this handle
+    /// (every get entry point funnels through [`Window::try_get_staged`],
+    /// which samples it inside the target's region read lock). Free in
+    /// virtual time: the stamp rides the get reply it describes.
+    pub fn last_get_stamp(&self) -> GetStamp {
+        self.last_get_stamp
+    }
+
+    /// A zero-cost peek at `target`'s notification-ring horizon: current
+    /// version and commit timestamp, the evicted-history watermark, and
+    /// the global commit clock. Like [`Window::version`] this charges
+    /// nothing — the snapshot layer and the benches use it to bound
+    /// staleness, not to move data.
+    pub fn notify_horizon(&self, target: usize) -> NotifyHorizon {
+        let ring = sync::lock(&self.shared.notify[target]);
+        NotifyHorizon {
+            version: ring.version,
+            last_ts: ring.last_ts,
+            dropped_through: ring.dropped_through,
+            dropped_through_ts: ring.dropped_through_ts,
+            now_ts: self
+                .shared
+                .commit_ts
+                // SeqCst: pairs with note_put's SeqCst RMW — a put not
+                // yet in the ring fields above commits later, so it
+                // gets a timestamp > this load (now_ts is a true cap).
+                .load(std::sync::atomic::Ordering::SeqCst),
+        }
     }
 
     /// Fetches `target`'s region version counter as a synchronous 8-byte
@@ -1122,10 +1268,19 @@ impl Window {
     ) -> Result<NotifyDrain, RmaError> {
         self.fault_gate(p, target)?;
         let before = out.len();
-        let (version, drained, overflowed) = {
+        let (version, drained, overflowed, now_ts) = {
             let ring = sync::lock(&self.shared.notify[target]);
+            // Sampled inside the ring lock: a write to this target not
+            // visible in this drain runs note_put after this critical
+            // section, so its timestamp will exceed now_ts — the cap a
+            // snapshot reader may trust.
+            let now_ts = self
+                .shared
+                .commit_ts
+                // SeqCst: one total order with note_put's SeqCst RMW.
+                .load(std::sync::atomic::Ordering::SeqCst);
             if ring.dropped_through > cursor {
-                (ring.version, 0usize, true)
+                (ring.version, 0usize, true, now_ts)
             } else {
                 let mut n = 0usize;
                 for r in ring.records.iter() {
@@ -1134,7 +1289,7 @@ impl Window {
                         n += 1;
                     }
                 }
-                (ring.version, n, false)
+                (ring.version, n, false, now_ts)
             }
         };
         if let (Some(local), Some(ctx)) = (self.san.as_deref_mut(), p.san.as_ref()) {
@@ -1147,6 +1302,7 @@ impl Window {
             version,
             drained,
             overflowed,
+            now_ts,
         })
     }
 

@@ -4,7 +4,7 @@
 //! § Coherence).
 
 use clampi_datatype::Datatype;
-use clampi_rma::{run, AccumulateOp, PutRecord, SimConfig};
+use clampi_rma::{run, AccumulateOp, SimConfig};
 
 #[test]
 fn versions_bump_on_every_write_kind() {
@@ -108,29 +108,20 @@ fn drain_returns_records_after_cursor_and_tracks_overflow() {
             assert!(!d.overflowed);
             assert_eq!(d.version, 3);
             assert_eq!(d.drained, 3);
+            // Commit timestamps depend on the writer's virtual clock, so
+            // compare the deterministic fields and pin the timestamp's
+            // *ordering* contract separately below.
             assert_eq!(
-                out,
-                vec![
-                    PutRecord {
-                        origin: 0,
-                        disp: 0,
-                        len: 16,
-                        version: 1
-                    },
-                    PutRecord {
-                        origin: 0,
-                        disp: 16,
-                        len: 16,
-                        version: 2
-                    },
-                    PutRecord {
-                        origin: 0,
-                        disp: 32,
-                        len: 16,
-                        version: 3
-                    },
-                ]
+                out.iter()
+                    .map(|r| (r.origin, r.disp, r.len, r.version))
+                    .collect::<Vec<_>>(),
+                vec![(0, 0, 16, 1), (0, 16, 16, 2), (0, 32, 16, 3)]
             );
+            assert!(
+                out.windows(2).all(|w| w[0].ts < w[1].ts),
+                "commit timestamps are strictly increasing in version order"
+            );
+            assert!(out[0].ts >= 1, "timestamps start above the zero epoch");
 
             // Cursor semantics: an up-to-date cursor drains nothing.
             out.clear();
@@ -154,6 +145,61 @@ fn drain_returns_records_after_cursor_and_tracks_overflow() {
             assert!(!d.overflowed);
             assert_eq!(d.drained, 4, "versions 5..=8 are retained");
             assert_eq!(out.first().map(|r| r.version), Some(5));
+            win.unlock_all(p);
+        }
+        p.barrier();
+    });
+}
+
+#[test]
+fn get_stamp_and_horizon_expose_exact_commit_timestamps() {
+    let cfg = SimConfig::checked().with_notify_ring_cap(2);
+    run(cfg, 2, |p| {
+        let mut win = p.win_allocate(64);
+        p.barrier();
+        if p.rank() == 0 {
+            win.lock_all(p);
+            // Before any write: stamps and horizon are all zero.
+            assert_eq!(win.last_get_stamp(), clampi_rma::GetStamp::default());
+            let h0 = win.notify_horizon(1);
+            assert_eq!((h0.version, h0.last_ts, h0.now_ts), (0, 0, 0));
+
+            win.put(p, &[1u8; 8], 1, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            let mut buf = [0u8; 8];
+            win.get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            let s1 = win.last_get_stamp();
+            assert_eq!(s1.version, 1);
+            assert!(s1.ts >= 1);
+
+            // A second write advances both the stamp a fresh get sees
+            // and the horizon's clock, strictly.
+            win.put(p, &[2u8; 8], 1, 8, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            win.get(p, &mut buf, 1, 0, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            let s2 = win.last_get_stamp();
+            assert_eq!(s2.version, 2);
+            assert!(s2.ts > s1.ts);
+            let h = win.notify_horizon(1);
+            assert_eq!((h.version, h.last_ts), (2, s2.ts));
+            assert_eq!(h.now_ts, s2.ts, "single-target run: clock == last ts");
+            assert_eq!(h.dropped_through, 0, "2-cap ring retains both records");
+
+            // Overflow the 2-slot ring: the evicted record's (version,
+            // ts) become the horizon watermark, and a drain reports the
+            // same clock sample it validated against.
+            win.put(p, &[3u8; 8], 1, 16, &Datatype::bytes(8), 1);
+            win.flush(p, 1);
+            let h = win.notify_horizon(1);
+            assert_eq!(h.dropped_through, 1);
+            assert_eq!(h.dropped_through_ts, s1.ts);
+            let mut out = Vec::new();
+            let d = win.try_drain_notifications(p, 1, 1, &mut out).unwrap();
+            assert!(!d.overflowed);
+            assert_eq!(d.now_ts, h.now_ts);
+            assert!(out.iter().all(|r| r.ts > s1.ts));
             win.unlock_all(p);
         }
         p.barrier();
