@@ -13,15 +13,23 @@
 #                 `xlint --rule hermeticity`, which self-tests against
 #                 ci/fixtures/offending/Cargo.toml first
 #   xlint         the full in-tree lint pass (crates/xlint): hermeticity,
-#                 no-std-time, no-unwrap, safety-comment, no-println —
-#                 self-tested against the seeded ci/fixtures/lint/ tree,
-#                 then run over the whole workspace (see `xlint --list`)
+#                 no-std-time, no-unwrap, safety-comment, no-println,
+#                 no-bare-seqcst, no-bare-fence — self-tested against the
+#                 seeded ci/fixtures/lint/ tree, then run over the whole
+#                 workspace (see `xlint --list`)
 #   fmt           cargo fmt --all --check   (skipped loudly if rustfmt
 #                 is not installed)
 #   clippy        cargo clippy -D warnings  (skipped loudly if clippy is
 #                 not installed)
 #   build         cargo build --release --offline (workspace)
 #   test          cargo test -q --offline (workspace)
+#   mc-test       the in-tree concurrency model checker (crates/mc) over
+#                 the shipped seqlock + snapshot protocols, compiled with
+#                 the tracked-atomics facade (RUSTFLAGS=--cfg clampi_mc,
+#                 own target dir target/mc). The planted-mutant fixtures
+#                 run first and gate the stage; default bounds are the
+#                 smoke preset, CLAMPI_MC_FULL=1 lifts the preemption
+#                 bound for exhaustive exploration
 #   san-test      the whole test suite again under CLAMPI_SAN=1 (the RMA
 #                 semantics sanitizer armed; run_collect asserts zero
 #                 diagnostics after every simulation), plus
@@ -57,7 +65,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(hermeticity xlint fmt clippy build test san-test dht-test prop-matrix bench-smoke perf-gate)
+ALL_STAGES=(hermeticity xlint fmt clippy build test mc-test san-test dht-test prop-matrix bench-smoke perf-gate)
 PROP_SEEDS=(1 42 20170527)
 
 stage_hermeticity() {
@@ -76,7 +84,7 @@ stage_hermeticity() {
 }
 
 stage_xlint() {
-    # All five rules: self-test against the seeded fixtures (each planted
+    # All seven rules: self-test against the seeded fixtures (each planted
     # violation must be flagged, the clean file must stay clean), then
     # scan the real tree.
     cargo run -q --offline -p xlint -- --self-test
@@ -113,6 +121,34 @@ stage_build() {
 
 stage_test() {
     cargo test -q --offline --workspace
+}
+
+stage_mc_test() {
+    # The concurrency model checker over the *shipped* protocol code:
+    # --cfg clampi_mc swaps the sync_shim facade from std atomics to
+    # tracked cells, so the mc_* unit tests in clampi (seqlock, snapshot)
+    # and clampi-rma (commit clock) explore the exact lines production
+    # builds run. A separate target dir keeps the cfg'd build from
+    # invalidating the normal cache.
+    #
+    # The planted-mutant fixtures run FIRST and gate everything else: a
+    # checker that cannot catch the known-broken protocol variants
+    # (dropped Release fence, Relaxed seq load, commit stamp outside the
+    # ring lock) proves nothing about the shipped ones.
+    local bounds=smoke
+    [ "${CLAMPI_MC_FULL:-0}" = 1 ] && bounds=full
+    echo "-- mc mutant fixtures (checker self-validation, gating)"
+    RUSTFLAGS="--cfg clampi_mc" CARGO_TARGET_DIR=target/mc \
+        cargo test -q --offline -p clampi-mc --test mutants
+    echo "-- mc litmus + unit suites"
+    RUSTFLAGS="--cfg clampi_mc" CARGO_TARGET_DIR=target/mc \
+        cargo test -q --offline -p clampi-mc
+    echo "-- shipped protocols under the checker ($bounds bounds)"
+    RUSTFLAGS="--cfg clampi_mc" CARGO_TARGET_DIR=target/mc \
+        cargo test -q --offline -p clampi --lib mc_
+    RUSTFLAGS="--cfg clampi_mc" CARGO_TARGET_DIR=target/mc \
+        cargo test -q --offline -p clampi-rma --lib mc_
+    echo "mc-test ok: mutants caught, shipped seqlock/snapshot/commit-clock clean ($bounds bounds)"
 }
 
 stage_san_test() {

@@ -1,0 +1,32 @@
+//! Self-test fixture: standalone atomic fences without pairing comments.
+//! xlint --self-test expects EXACTLY 2 [no-bare-fence] violations here
+//! (and nothing else). Not compiled: `ci/` is outside the workspace.
+
+use std::sync::atomic::{fence, Ordering};
+
+pub fn bare_release() {
+    fence(Ordering::Release);
+}
+
+pub fn bare_through_path() {
+    std::sync::atomic::fence(Ordering::Acquire);
+}
+
+pub fn justified() {
+    // Pairs with the Acquire fence in `reader_validate` (the matching
+    // site must be named; any casing of "pairs with" counts).
+    fence(Ordering::Release);
+}
+
+pub fn escaped() {
+    fence(Ordering::SeqCst); // xlint: allow(no-bare-fence) xlint: allow(no-bare-seqcst) fixture escape
+}
+
+pub struct Win;
+impl Win {
+    pub fn fence(&self) {}
+}
+
+pub fn method_call_is_not_an_atomic_fence(w: &Win) {
+    w.fence();
+}

@@ -73,10 +73,12 @@ pub mod eviction;
 pub mod index;
 pub mod lease;
 pub mod recovery;
+pub mod seqlock;
 pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod storage;
+pub mod sync_shim;
 pub mod trace;
 pub mod vcache;
 pub mod window;

@@ -1,0 +1,216 @@
+//! The seqlock protocol, extracted from the shard front so the model
+//! checker can exercise the *shipped* ordering code.
+//!
+//! [`SeqLock`] owns exactly the four ordering-sensitive operations of the
+//! classic seqlock recipe (Boehm, *Can seqlocks get along with programming
+//! language memory models?*); [`crate::shard`] composes them with its
+//! locking and statistics, which carry no ordering obligations of their
+//! own. The counter lives behind [`crate::sync_shim::McAtomicU64`], so
+//! under `--cfg clampi_mc` the `mc_*` unit tests model-check these exact
+//! lines — see the `mc_tests` module at the bottom of this file — while a
+//! normal build compiles to the same instructions `shard.rs` inlined
+//! before the extraction.
+//!
+//! Protocol: a writer does `store(s+1, Relaxed)`, `fence(Release)`,
+//! mutates, `store(s+2, Release)`. A reader does `load(Acquire)`, probes,
+//! `fence(Acquire)`, re-loads `Relaxed` and compares. If the second load
+//! still sees the first (even) value, no writer published between the two
+//! loads and the probed bytes are consistent; otherwise the probe is
+//! discarded. The writer's Release fence and the reader's Acquire fence
+//! are the synchronizing pair: they order the data mutation before the
+//! even store as observed through the counter re-load.
+
+use std::sync::atomic::Ordering;
+
+use crate::sync_shim::{mc_fence, McAtomicU64};
+
+/// A sequence counter implementing the seqlock ordering protocol.
+///
+/// The caller supplies mutual exclusion between writers (shard.rs uses its
+/// `RwLock`); `SeqLock` supplies only the reader/writer memory ordering.
+/// Each method is `#[inline]` so composed fast paths match the
+/// pre-extraction codegen.
+#[derive(Debug)]
+pub struct SeqLock {
+    seq: McAtomicU64,
+}
+
+impl SeqLock {
+    /// A fresh counter at sequence 0 (even: no writer inside).
+    pub const fn new() -> Self {
+        SeqLock {
+            seq: McAtomicU64::new(0),
+        }
+    }
+
+    /// Enters the writer critical section: bumps the counter to odd and
+    /// issues the Release fence that orders the subsequent mutation after
+    /// the odd store. Returns the pre-entry sequence for
+    /// [`SeqLock::write_end`]. Callers must already hold the exclusive
+    /// writer lock — the parity `debug_assert` catches nesting.
+    #[inline]
+    pub fn write_begin(&self) -> u64 {
+        let s = self.seq.load(Ordering::Relaxed);
+        debug_assert_eq!(s & 1, 0, "nested writer on one seqlock");
+        self.seq.store(s + 1, Ordering::Relaxed);
+        // Pairs with the Acquire fence in `read_validate`: together they
+        // order the writer's mutation against the reader's probe whenever
+        // the reader's second counter load observes this writer.
+        mc_fence(Ordering::Release);
+        s
+    }
+
+    /// Leaves the writer critical section entered by
+    /// [`SeqLock::write_begin`]: publishes the mutation with a releasing
+    /// store of the next even sequence.
+    #[inline]
+    pub fn write_end(&self, s: u64) {
+        self.seq.store(s + 2, Ordering::Release);
+    }
+
+    /// Begins an optimistic read: returns `Some(s1)` to probe against, or
+    /// `None` if a writer is inside (odd counter) and the caller should
+    /// spin or fall back.
+    #[inline]
+    pub fn read_begin(&self) -> Option<u64> {
+        let s1 = self.seq.load(Ordering::Acquire);
+        if s1 & 1 == 1 {
+            None
+        } else {
+            Some(s1)
+        }
+    }
+
+    /// Validates an optimistic read begun at `s1`: `true` means no writer
+    /// published a mutation while the caller probed, so the probed bytes
+    /// may be used; `false` means the probe must be discarded.
+    #[inline]
+    pub fn read_validate(&self, s1: u64) -> bool {
+        // Pairs with the Release fence in `write_begin`: orders the probe
+        // before this re-load, so a racing writer's odd store is visible.
+        mc_fence(Ordering::Acquire);
+        self.seq.load(Ordering::Relaxed) == s1
+    }
+}
+
+impl Default for SeqLock {
+    fn default() -> Self {
+        SeqLock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_cycle_restores_parity() {
+        let sl = SeqLock::new();
+        let s = sl.write_begin();
+        assert_eq!(s, 0);
+        assert_eq!(sl.read_begin(), None, "odd counter must block readers");
+        sl.write_end(s);
+        assert_eq!(sl.read_begin(), Some(2));
+        assert!(sl.read_validate(2));
+    }
+
+    #[test]
+    fn validation_rejects_intervening_writer() {
+        let sl = SeqLock::new();
+        let s1 = sl.read_begin().expect("fresh lock is even");
+        let s = sl.write_begin();
+        sl.write_end(s);
+        assert!(!sl.read_validate(s1), "a completed write must invalidate");
+    }
+}
+
+/// Model checks of the shipped protocol above, compiled only under
+/// `--cfg clampi_mc` (the `mc-test` CI stage). These drive the *same*
+/// `write_begin`/`read_begin`/`read_validate` code the shard front ships,
+/// with the facade swapped to tracked atomics.
+#[cfg(all(test, clampi_mc))]
+mod mc_tests {
+    use super::*;
+    use std::sync::atomic::Ordering::Relaxed;
+    use std::sync::Arc;
+
+    /// One writer mutating a two-word payload through the shipped writer
+    /// protocol, one reader doing a single optimistic attempt of the
+    /// shipped reader protocol. Asserts the two checked properties from
+    /// the issue: no torn read escapes validation, and writer parity is
+    /// restored.
+    fn shipped_seqlock_body() {
+        let sl = Arc::new(SeqLock::new());
+        let d0 = Arc::new(clampi_mc::TrackedU64::with_label(0, "d0"));
+        let d1 = Arc::new(clampi_mc::TrackedU64::with_label(0, "d1"));
+        let (sl_w, d0_w, d1_w) = (sl.clone(), d0.clone(), d1.clone());
+        let writer = clampi_mc::spawn(move || {
+            let s = sl_w.write_begin();
+            d0_w.store(2, Relaxed);
+            d1_w.store(2, Relaxed);
+            sl_w.write_end(s);
+        });
+        if let Some(s1) = sl.read_begin() {
+            let a = d0.load(Relaxed);
+            let b = d1.load(Relaxed);
+            if sl.read_validate(s1) {
+                assert_eq!(a, b, "torn read escaped seqlock validation");
+            }
+        }
+        writer.join();
+        assert_eq!(
+            sl.read_begin().map(|s| s & 1),
+            Some(0),
+            "writer counter parity not restored"
+        );
+    }
+
+    #[test]
+    fn mc_shipped_seqlock_no_torn_reads() {
+        let report = clampi_mc::check(clampi_mc::Config::smoke(), shipped_seqlock_body);
+        report.assert_pass();
+    }
+
+    #[test]
+    fn mc_shipped_seqlock_full_exploration_when_unbounded() {
+        // Under CLAMPI_MC_FULL=1 `smoke()` lifts the preemption bound and
+        // this is the exhaustive run; otherwise exercise it here directly.
+        let report = clampi_mc::check(clampi_mc::Config::default(), shipped_seqlock_body);
+        report.assert_pass();
+        assert!(!report.truncated, "unbounded exploration must be complete");
+    }
+
+    /// Two back-to-back writers (serialized, as the shard's write lock
+    /// guarantees) with a concurrent reader: validation must also reject
+    /// a probe spanning two complete write cycles (ABA on the counter is
+    /// impossible because the sequence is monotone).
+    #[test]
+    fn mc_shipped_seqlock_two_writes_monotone_counter() {
+        let report = clampi_mc::check(clampi_mc::Config::smoke(), || {
+            let sl = Arc::new(SeqLock::new());
+            let d = Arc::new(clampi_mc::TrackedU64::with_label(0, "d"));
+            let (sl_w, d_w) = (sl.clone(), d.clone());
+            let writer = clampi_mc::spawn(move || {
+                for v in [1u64, 2] {
+                    let s = sl_w.write_begin();
+                    d_w.store(v, Relaxed);
+                    sl_w.write_end(s);
+                }
+            });
+            if let Some(s1) = sl.read_begin() {
+                let v = d.load(Relaxed);
+                if sl.read_validate(s1) {
+                    // A validated probe saw a quiescent payload: one of
+                    // the three stable values, never a mix (single word
+                    // here, so the property is value-set membership).
+                    assert!(v <= 2, "validated probe saw impossible value");
+                    // Validation at s1 means no write_end landed in
+                    // between: the value is determined by s1's height.
+                    assert_eq!(v, s1 / 2, "payload inconsistent with sequence");
+                }
+            }
+            writer.join();
+        });
+        report.assert_pass();
+    }
+}

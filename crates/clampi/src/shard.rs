@@ -22,15 +22,17 @@
 //!   torn-read-safe cheaply — and misses already pay a network round trip,
 //!   so a lock there is noise.
 //!
-//! **Memory ordering.** The writer does `seq.store(s+1, Relaxed)`,
-//! `fence(Release)`, mutates, then `seq.store(s+2, Release)`. The reader
-//! does `seq.load(Acquire)`, probes, `fence(Acquire)`, then re-loads with
-//! `Relaxed` and compares. The release fence/store pair guarantees that if
-//! the reader's second load still sees `s` (even), no writer published a
-//! mutation between the two loads, so the probed bytes are consistent;
-//! otherwise the result is discarded and the read retried. This is the
-//! classic seqlock recipe (Boehm, *Can seqlocks get along with programming
-//! language memory models?*); no `SeqCst` is needed anywhere.
+//! **Memory ordering.** The ordering-sensitive counter protocol lives in
+//! [`crate::seqlock::SeqLock`]: the writer does `write_begin` (odd store +
+//! Release fence) and `write_end` (releasing even store); the reader does
+//! `read_begin` (Acquire load) and `read_validate` (Acquire fence +
+//! Relaxed re-load). If validation still sees the first (even) sequence,
+//! no writer published a mutation between the two loads, so the probed
+//! bytes are consistent; otherwise the result is discarded and the read
+//! retried. This is the classic seqlock recipe (Boehm, *Can seqlocks get
+//! along with programming language memory models?*); no `SeqCst` is
+//! needed anywhere. The extracted protocol is model-checked exhaustively
+//! by the `mc_*` tests in `seqlock.rs` under `--cfg clampi_mc`.
 //!
 //! **Why reads through a mutating core are tolerable.** A [`ShardCore`]
 //! built with a pinned slab never reallocates reader-visible memory while
@@ -43,12 +45,13 @@
 //! sequence validation rejects the result whenever a race was possible.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 use crate::cache::{CacheParams, EngineCtx, LayoutSig, ProbeResult, ShardCore};
 use crate::eviction::VictimScheme;
 use crate::index::GetKey;
+use crate::seqlock::SeqLock;
 use crate::stats::{AccessType, CacheStats};
 
 /// Optimistic read attempts (including retries after a failed sequence
@@ -62,7 +65,7 @@ struct ShardState {
 
 struct Shard {
     /// Seqlock sequence counter: odd while a writer is inside.
-    seq: AtomicU64,
+    seq: SeqLock,
     /// Slow-path lock. Writers hold it exclusively for every mutation;
     /// the hit-path fallback and stats readers hold it shared.
     lock: RwLock<()>,
@@ -131,7 +134,7 @@ impl ShardedCache {
         };
         let shards = (0..params.shards)
             .map(|i| Shard {
-                seq: AtomicU64::new(0),
+                seq: SeqLock::new(),
                 lock: RwLock::new(()),
                 state: UnsafeCell::new(ShardState {
                     core: ShardCore::new(&params, i, true),
@@ -169,15 +172,12 @@ impl ShardedCache {
     fn with_write<R>(sh: &Shard, f: impl FnOnce(&mut ShardState) -> R) -> R {
         let _g = sh.lock.write().unwrap_or_else(|e| e.into_inner());
         sh.write_locks.fetch_add(1, Ordering::Relaxed);
-        let s = sh.seq.load(Ordering::Relaxed);
-        debug_assert_eq!(s & 1, 0, "nested writer on one shard");
-        sh.seq.store(s + 1, Ordering::Relaxed);
-        fence(Ordering::Release);
+        let s = sh.seq.write_begin();
         // SAFETY: the exclusive write lock is held for the whole closure,
         // so no other &mut (or locked &) access can exist concurrently.
         let state = unsafe { &mut *sh.state.get() };
         let r = f(state);
-        sh.seq.store(s + 2, Ordering::Release);
+        sh.seq.write_end(s);
         r
     }
 
@@ -194,20 +194,18 @@ impl ShardedCache {
     pub fn get(&self, key: GetKey, dst: &mut [u8]) -> bool {
         let sh = self.shard_of(&key);
         for _ in 0..OPTIMISTIC_ATTEMPTS {
-            let s1 = sh.seq.load(Ordering::Acquire);
-            if s1 & 1 == 1 {
+            let Some(s1) = sh.seq.read_begin() else {
                 // A writer is inside: writers are short (no network under
                 // the lock), so spin once and re-check.
                 std::hint::spin_loop();
                 continue;
-            }
+            };
             // SAFETY: seqlock compromise — this view may race a writer, but
             // the probe is bounds-checked and panic-free on torn state
             // (allocations pinned, module docs); validation discards races.
             let state = unsafe { &*sh.state.get() };
             let res = state.core.racy_probe(&key, dst);
-            fence(Ordering::Acquire);
-            if sh.seq.load(Ordering::Relaxed) == s1 {
+            if sh.seq.read_validate(s1) {
                 match res {
                     ProbeResult::Hit => {
                         sh.opt_hits.fetch_add(1, Ordering::Relaxed);

@@ -324,3 +324,111 @@ mod tests {
         assert!(cx.reqs.is_empty() && cx.buf.is_empty());
     }
 }
+
+/// Model checks of the snapshot protocol, compiled only under
+/// `--cfg clampi_mc` (the `mc-test` CI stage). The harness drives the
+/// *shipped* pieces — [`clampi_rma::CommitClock`] for stamping and
+/// [`choose_timestamp`] for interval intersection — through a miniature
+/// two-target window: a writer committing one put per target races a
+/// reader gathering, draining and validating a two-request batch. The
+/// checked property is the issue's #4: on every schedule, the chosen
+/// timestamp lies inside every request's validity interval; and the
+/// refetch-on-`Err` loop is bounded.
+#[cfg(all(test, clampi_mc))]
+mod mc_tests {
+    use super::*;
+    use clampi_rma::CommitClock;
+    use std::sync::Arc;
+
+    type Ring = clampi_mc::Mutex<Vec<(u64, u64)>>;
+
+    /// `note_put`'s essential shape: version bump + commit stamp, one
+    /// atomic step under the target's ring lock.
+    fn put(clock: &CommitClock, ring: &Ring) {
+        let mut r = ring.lock();
+        let ts = clock.stamp(0);
+        let version = r.len() as u64 + 1;
+        r.push((version, ts));
+    }
+
+    /// The gather side: bytes + stamp sampled under the region lock
+    /// (modelled by the ring lock — both sides of the simulator take it).
+    fn read_stamp(ring: &Ring) -> SnapStamp {
+        let r = ring.lock();
+        match r.last() {
+            Some(&(version, ts)) => SnapStamp::exact(version, ts),
+            None => SnapStamp::exact(0, 0),
+        }
+    }
+
+    /// The drain side: `hi` (first write after the stamp) and the commit
+    /// clock cap, both sampled inside the ring lock — the discipline
+    /// `try_drain_notifications` ships.
+    fn drain(clock: &CommitClock, ring: &Ring, stamp: SnapStamp) -> (u64, u64) {
+        let r = ring.lock();
+        let cap = clock.read();
+        let hi = r
+            .iter()
+            .find(|(version, _)| *version > stamp.version)
+            .map(|&(_, ts)| ts)
+            .unwrap_or(u64::MAX);
+        (hi, cap)
+    }
+
+    fn snapshot_body() {
+        let clock = Arc::new(CommitClock::new());
+        let rings: [Arc<Ring>; 2] = [
+            Arc::new(clampi_mc::Mutex::with_label(Vec::new(), "ring0")),
+            Arc::new(clampi_mc::Mutex::with_label(Vec::new(), "ring1")),
+        ];
+        let (clock_w, r0, r1) = (clock.clone(), rings[0].clone(), rings[1].clone());
+        let writer = clampi_mc::spawn(move || {
+            put(&clock_w, &r0);
+            put(&clock_w, &r1);
+        });
+        // multi_get's validation loop, refetching everything on Err. One
+        // round per writer put can fail, plus the final success: with a
+        // quiescent writer a fresh gather always yields hi == MAX (the
+        // stamp *is* the newest ring entry), which intersects.
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts <= 3, "refetch rounds must be bounded");
+            let stamps = [read_stamp(&rings[0]), read_stamp(&rings[1])];
+            let (h0, c0) = drain(&clock, &rings[0], stamps[0]);
+            let (h1, c1) = drain(&clock, &rings[1], stamps[1]);
+            let cap = c0.min(c1);
+            let bounds = [
+                ReqBound {
+                    stamp: stamps[0],
+                    hi: h0,
+                },
+                ReqBound {
+                    stamp: stamps[1],
+                    hi: h1,
+                },
+            ];
+            match choose_timestamp(&bounds, cap) {
+                Ok(t) => {
+                    for b in &bounds {
+                        assert!(
+                            b.stamp.ts <= t && t < b.hi,
+                            "chosen timestamp {t} outside validity interval [{}, {})",
+                            b.stamp.ts,
+                            b.hi
+                        );
+                    }
+                    break;
+                }
+                Err(_bar) => continue,
+            }
+        }
+        writer.join();
+    }
+
+    #[test]
+    fn mc_snapshot_timestamp_inside_every_validity_interval() {
+        let report = clampi_mc::check(clampi_mc::Config::smoke(), snapshot_body);
+        report.assert_pass();
+    }
+}

@@ -1,0 +1,19 @@
+//! Atomics facade: `std::sync::atomic` in normal builds, the model
+//! checker's tracked cells under `--cfg clampi_mc`.
+//!
+//! Shipped protocol code (the seqlock front in [`crate::seqlock`], the
+//! snapshot commit clock in `clampi_rma::commitclock`) is written against
+//! [`McAtomicU64`]/[`mc_fence`] instead of naming `std::sync::atomic`
+//! directly. In a normal build the shim is a pair of type aliases and
+//! re-exports — zero cost, bit-identical codegen (the perf gate checks
+//! this). Under `--cfg clampi_mc` (set by `ci.sh`'s `mc-test` stage via
+//! `RUSTFLAGS`) the same code compiles against `clampi_mc::TrackedU64`
+//! and the scheduler-visible fence, so [`clampi_mc::check`] explores the
+//! *shipped* protocol, not a transliterated copy.
+//!
+//! Only protocol-bearing atomics go through the shim. Statistics counters
+//! (`opt_hits` and friends) stay on plain `AtomicU64`: they carry no
+//! synchronization and tracking them would blow up the model checker's
+//! state space for no property gain.
+
+pub use clampi_mc::shim::{mc_fence, McAtomicU64, MC_ACTIVE};

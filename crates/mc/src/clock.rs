@@ -1,0 +1,89 @@
+//! Vector clocks over virtual-thread ids.
+//!
+//! Components are indexed by the spawn order of virtual threads within one
+//! execution, so clocks are comparable across the whole run. The vector grows
+//! lazily as threads spawn; a missing component reads as 0.
+
+/// A grow-on-demand vector clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The all-zero clock.
+    pub fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    /// Component `i`, or 0 if the vector has not grown that far.
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Set component `i` to `v`, growing the vector as needed.
+    pub fn set(&mut self, i: usize, v: u64) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] = v;
+    }
+
+    /// Increment component `i` and return the new value.
+    pub fn bump(&mut self, i: usize) -> u64 {
+        let v = self.get(i) + 1;
+        self.set(i, v);
+        v
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if v > self.0[i] {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+
+    /// Reset every component to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.set(0, 3);
+        a.set(2, 1);
+        let mut b = VClock::new();
+        b.set(0, 1);
+        b.set(1, 5);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(3), 0);
+    }
+
+    #[test]
+    fn bump_counts_from_zero() {
+        let mut a = VClock::new();
+        assert_eq!(a.bump(4), 1);
+        assert_eq!(a.bump(4), 2);
+        assert_eq!(a.get(4), 2);
+        assert!(!a.is_zero());
+        a.clear();
+        assert!(a.is_zero());
+    }
+}

@@ -1,0 +1,586 @@
+//! DFS schedule exploration with DPOR-lite pruning.
+//!
+//! The explorer enumerates executions of the checked body. Each execution is
+//! guided by a stack of decision nodes: a *thread* node per scheduling step
+//! (which enabled virtual thread moves) and a *read* node per load with more
+//! than one coherent store to observe. After an execution completes, the
+//! deepest node with an unexplored alternative is flipped and everything
+//! below it is rebuilt by re-running the (deterministic) prefix.
+//!
+//! Pruning:
+//! - **Persistent sets**: each node's backtrack set is the full enabled set
+//!   (the maximal persistent set). Computed smaller persistent sets are
+//!   famously unsound around blocking operations (a lock-acquire race hides
+//!   behind the unlock that sits happens-before-between the two acquires,
+//!   so last-dependent-step backtracking misses ABBA deadlocks); the
+//!   conservative choice keeps every reachable state reachable.
+//! - **Sleep sets** (Godefroid): a fully-explored choice is put to sleep for
+//!   its sibling branches and woken only when a dependent operation
+//!   executes; a state whose enabled threads are all asleep is pruned. This
+//!   is where the partial-order reduction actually comes from — sleep sets
+//!   skip redundant orderings of independent steps without pruning any
+//!   reachable state.
+//! - **Preemption bound** (`Config::preemption_bound`): alternatives that
+//!   would preempt a still-enabled running thread beyond the bound are
+//!   skipped and the report is marked `truncated`.
+//!
+//! Every decision sequence serializes to a `CLAMPI_MC_SCHEDULE` string
+//! (`"t1.t0.r2..."`); feeding it back via [`Config::schedule`] (or the env
+//! var, picked up by [`Config::from_env`]) replays that execution exactly.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use crate::clock::VClock;
+use crate::rt::{self, dependent, Op, Shared, State, Status, Th};
+
+/// Exploration bounds and replay input.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Hard cap on explored executions; exceeding it yields `Outcome::Budget`.
+    pub max_executions: u64,
+    /// Hard cap on scheduling steps within one execution.
+    pub max_steps: usize,
+    /// Max number of preemptive context switches per execution (None = full).
+    pub preemption_bound: Option<usize>,
+    /// Replay exactly this schedule instead of exploring.
+    pub schedule: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_executions: 200_000,
+            max_steps: 2_000,
+            preemption_bound: None,
+            schedule: None,
+        }
+    }
+}
+
+impl Config {
+    /// Defaults plus `CLAMPI_MC_SCHEDULE` replay pickup.
+    pub fn from_env() -> Self {
+        let mut c = Self::default();
+        if let Ok(s) = std::env::var("CLAMPI_MC_SCHEDULE") {
+            if !s.is_empty() {
+                c.schedule = Some(s);
+            }
+        }
+        c
+    }
+
+    /// CI smoke bounds: preemption bound 3, lifted to a full exploration
+    /// when `CLAMPI_MC_FULL=1` is set.
+    pub fn smoke() -> Self {
+        let mut c = Self::from_env();
+        let full = std::env::var("CLAMPI_MC_FULL").is_ok_and(|v| v == "1");
+        if !full {
+            c.preemption_bound = Some(3);
+        }
+        c
+    }
+
+    pub fn with_preemption_bound(mut self, b: Option<usize>) -> Self {
+        self.preemption_bound = b;
+        self
+    }
+
+    pub fn with_schedule(mut self, s: &str) -> Self {
+        self.schedule = Some(s.to_string());
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Decision {
+    /// Schedule this thread for one step.
+    Thread(usize),
+    /// For a multi-candidate load: offset into the coherent-store suffix.
+    Read(usize),
+}
+
+fn format_schedule(ds: &[Decision]) -> String {
+    let toks: Vec<String> = ds
+        .iter()
+        .map(|d| match d {
+            Decision::Thread(t) => format!("t{t}"),
+            Decision::Read(o) => format!("r{o}"),
+        })
+        .collect();
+    toks.join(".")
+}
+
+fn parse_schedule(s: &str) -> Result<Vec<Decision>, String> {
+    let mut out = Vec::new();
+    for tok in s.split('.') {
+        let (kind, num) = tok.split_at(1.min(tok.len()));
+        let n: usize = num
+            .parse()
+            .map_err(|_| format!("bad schedule token {tok:?}"))?;
+        match kind {
+            "t" => out.push(Decision::Thread(n)),
+            "r" => out.push(Decision::Read(n)),
+            _ => return Err(format!("bad schedule token {tok:?}")),
+        }
+    }
+    if out.is_empty() {
+        return Err("empty schedule".to_string());
+    }
+    Ok(out)
+}
+
+/// A reproducible property violation.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Feed back via `CLAMPI_MC_SCHEDULE` to replay this execution.
+    pub schedule: String,
+    /// Human-readable per-step trace of the failing execution.
+    pub trace: String,
+    /// The panic message / deadlock description.
+    pub message: String,
+}
+
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Every explored execution satisfied the properties.
+    Pass,
+    /// A schedule violated a property (assert/panic/deadlock).
+    Fail(Counterexample),
+    /// `max_executions` or `max_steps` exceeded before the space was covered.
+    Budget(String),
+    /// A supplied replay schedule did not fit this model.
+    ScheduleMismatch(String),
+}
+
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub executions: u64,
+    /// True when the preemption bound pruned at least one alternative, i.e.
+    /// Pass means "no violation within the bound", not full coverage.
+    pub truncated: bool,
+    pub outcome: Outcome,
+}
+
+impl Report {
+    pub fn passed(&self) -> bool {
+        matches!(self.outcome, Outcome::Pass)
+    }
+
+    /// Panic with a replayable counterexample unless the exploration passed.
+    pub fn assert_pass(&self) {
+        match &self.outcome {
+            Outcome::Pass => {}
+            Outcome::Fail(cx) => panic!(
+                "mc: property violated after {} execution(s)\n  message: {}\n  replay: CLAMPI_MC_SCHEDULE={}\n  trace:\n{}",
+                self.executions, cx.message, cx.schedule, cx.trace
+            ),
+            Outcome::Budget(m) => panic!("mc: exploration budget exhausted: {m}"),
+            Outcome::ScheduleMismatch(m) => panic!("mc: schedule mismatch: {m}"),
+        }
+    }
+
+    /// Panic unless the exploration found a violation; returns it otherwise.
+    pub fn expect_fail(&self) -> &Counterexample {
+        match &self.outcome {
+            Outcome::Fail(cx) => cx,
+            other => panic!(
+                "mc: expected a property violation, got {other:?} after {} execution(s)",
+                self.executions
+            ),
+        }
+    }
+}
+
+struct ThreadNode {
+    /// Enabled threads at this node; also the (maximal) persistent set.
+    enabled: Vec<usize>,
+    sleep: BTreeSet<usize>,
+    chosen: usize,
+    prev_running: Option<usize>,
+    preempt_used: usize,
+}
+
+struct ReadNode {
+    n: usize,
+    tried: usize,
+    chosen: usize,
+}
+
+enum Node {
+    Thread(ThreadNode),
+    Read(ReadNode),
+}
+
+enum ExecEnd {
+    AllDone,
+    Pruned,
+    Failed(Counterexample),
+    StepBudget,
+    Mismatch(String),
+}
+
+fn render_trace(st: &State) -> String {
+    let lines: Vec<String> = st
+        .trace
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("    #{i:<3} {s}"))
+        .collect();
+    lines.join("\n")
+}
+
+struct Explorer {
+    cfg: Config,
+    stack: Vec<Node>,
+    truncated: bool,
+}
+
+impl Explorer {
+    /// Run one execution. With `fixed` decisions this is a pure replay (no
+    /// DFS bookkeeping); otherwise the node stack prescribes the prefix and
+    /// grows at the frontier.
+    fn run_one(
+        &mut self,
+        body: Arc<dyn Fn() + Send + Sync + 'static>,
+        fixed: Option<&[Decision]>,
+    ) -> ExecEnd {
+        let sh = Shared::new(rt::next_epoch());
+        {
+            let mut st = sh.lock();
+            st.threads.push(Th::new(VClock::new(), Op::Begin));
+        }
+        {
+            let sh2 = sh.clone();
+            let h = std::thread::spawn(move || rt::vthread_main(sh2, 0, move || body()));
+            sh.lock().os_handles.push(h);
+        }
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut depth = 0usize; // stack cursor (exploration mode only)
+        let mut fpos = 0usize; // fixed-list cursor (replay mode only)
+        let mut nsteps = 0usize;
+        let mut prev_running: Option<usize> = None;
+        let mut preempt_used = 0usize;
+        let mut cur_sleep: BTreeSet<usize> = BTreeSet::new();
+
+        let end = 'exec: loop {
+            let mut st = sh.lock();
+            while st
+                .threads
+                .iter()
+                .any(|t| t.status == Status::Running || t.granted)
+            {
+                st = sh.wait(st);
+            }
+            if let Some(msg) = st.failure.clone() {
+                break ExecEnd::Failed(Counterexample {
+                    schedule: format_schedule(&decisions),
+                    trace: render_trace(&st),
+                    message: msg,
+                });
+            }
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                break ExecEnd::AllDone;
+            }
+            let enabled: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status == Status::AtPoint)
+                .filter(|(_, t)| t.pending.is_some_and(|op| st.op_enabled(op)))
+                .map(|(i, _)| i)
+                .collect();
+            if enabled.is_empty() {
+                break ExecEnd::Failed(Counterexample {
+                    schedule: format_schedule(&decisions),
+                    trace: render_trace(&st),
+                    message: "deadlock: every live thread is blocked".to_string(),
+                });
+            }
+            if nsteps >= self.cfg.max_steps {
+                break ExecEnd::StepBudget;
+            }
+
+            // --- thread decision ---
+            let p = if let Some(list) = fixed {
+                match list.get(fpos) {
+                    Some(Decision::Thread(t)) if enabled.contains(t) => {
+                        fpos += 1;
+                        *t
+                    }
+                    other => {
+                        break ExecEnd::Mismatch(format!(
+                            "step {nsteps}: expected one of threads {enabled:?}, schedule has {other:?}"
+                        ));
+                    }
+                }
+            } else if depth < self.stack.len() {
+                match &self.stack[depth] {
+                    Node::Thread(tn) => {
+                        if !enabled.contains(&tn.chosen) {
+                            break ExecEnd::Mismatch(format!(
+                                "step {nsteps}: replayed choice t{} not enabled in {enabled:?}",
+                                tn.chosen
+                            ));
+                        }
+                        cur_sleep = tn.sleep.clone();
+                        depth += 1;
+                        tn.chosen
+                    }
+                    Node::Read(_) => {
+                        break ExecEnd::Mismatch(format!(
+                            "step {nsteps}: stack expected a read node here"
+                        ));
+                    }
+                }
+            } else {
+                if enabled.iter().all(|t| cur_sleep.contains(t)) {
+                    // Every enabled move is asleep: this state's subtree was
+                    // already covered through an equivalent interleaving.
+                    break ExecEnd::Pruned;
+                }
+                let choice = prev_running
+                    .filter(|t| enabled.contains(t) && !cur_sleep.contains(t))
+                    .unwrap_or_else(|| {
+                        *enabled
+                            .iter()
+                            .find(|t| !cur_sleep.contains(t))
+                            .expect("checked above: some enabled thread is awake")
+                    });
+                self.stack.push(Node::Thread(ThreadNode {
+                    enabled: enabled.clone(),
+                    sleep: cur_sleep.clone(),
+                    chosen: choice,
+                    prev_running,
+                    preempt_used,
+                }));
+                depth += 1;
+                choice
+            };
+            decisions.push(Decision::Thread(p));
+            let op = st.threads[p]
+                .pending
+                .expect("AtPoint thread has a pending op");
+
+            if prev_running.is_some_and(|q| q != p && enabled.contains(&q)) {
+                preempt_used += 1;
+            }
+
+            // --- read decision (loads with several coherent stores) ---
+            if let Op::Load { cell, ord } = op {
+                let (lo, n) = st.load_candidates(p, cell, ord);
+                let count = n - lo;
+                let off = if count <= 1 {
+                    0
+                } else if let Some(list) = fixed {
+                    match list.get(fpos) {
+                        Some(Decision::Read(o)) if *o < count => {
+                            fpos += 1;
+                            *o
+                        }
+                        other => {
+                            break 'exec ExecEnd::Mismatch(format!(
+                                "step {nsteps}: expected a read decision < {count}, schedule has {other:?}"
+                            ));
+                        }
+                    }
+                } else if depth < self.stack.len() {
+                    match &self.stack[depth] {
+                        Node::Read(rn) if rn.n == count => {
+                            depth += 1;
+                            rn.chosen
+                        }
+                        _ => {
+                            break 'exec ExecEnd::Mismatch(format!(
+                                "step {nsteps}: stack desynchronized on a read node"
+                            ));
+                        }
+                    }
+                } else {
+                    // Default to the newest store; alternatives walk back.
+                    self.stack.push(Node::Read(ReadNode {
+                        n: count,
+                        tried: 1,
+                        chosen: count - 1,
+                    }));
+                    depth += 1;
+                    count - 1
+                };
+                if count > 1 {
+                    decisions.push(Decision::Read(off));
+                }
+                st.read_choice = Some(lo + off);
+            }
+
+            if fixed.is_none() {
+                // Sleep-set wakeup: a dependent step invalidates the "already
+                // explored" argument for sleeping threads.
+                cur_sleep.retain(|&q| match st.threads[q].pending {
+                    Some(oq) => !dependent(oq, op),
+                    None => false,
+                });
+            }
+
+            st.threads[p].granted = true;
+            prev_running = Some(p);
+            nsteps += 1;
+            sh.cv.notify_all();
+        };
+
+        // Teardown: cancel parked threads, wait everyone out, reap OS threads.
+        {
+            let mut st = sh.lock();
+            st.shutdown = true;
+            sh.cv.notify_all();
+            while !st.threads.iter().all(|t| t.status == Status::Finished) {
+                st = sh.wait(st);
+            }
+        }
+        let handles = std::mem::take(&mut sh.lock().os_handles);
+        for h in handles {
+            let _ = h.join();
+        }
+        end
+    }
+
+    /// Flip the deepest node with an unexplored alternative; false = done.
+    fn advance(&mut self) -> bool {
+        while let Some(top) = self.stack.last_mut() {
+            match top {
+                Node::Read(rn) => {
+                    if rn.tried < rn.n {
+                        rn.chosen = rn.n - 1 - rn.tried;
+                        rn.tried += 1;
+                        return true;
+                    }
+                    self.stack.pop();
+                }
+                Node::Thread(tn) => {
+                    tn.sleep.insert(tn.chosen);
+                    let bound = self.cfg.preemption_bound;
+                    let mut skipped_by_bound = false;
+                    let next = tn.enabled.iter().copied().find(|q| {
+                        if tn.sleep.contains(q) {
+                            return false;
+                        }
+                        if let Some(b) = bound {
+                            let is_pre = tn
+                                .prev_running
+                                .is_some_and(|r| r != *q && tn.enabled.contains(&r));
+                            if is_pre && tn.preempt_used >= b {
+                                skipped_by_bound = true;
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                    match next {
+                        Some(q) => {
+                            tn.chosen = q;
+                            return true;
+                        }
+                        None => {
+                            if skipped_by_bound {
+                                self.truncated = true;
+                            }
+                            self.stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Explore (or replay) every schedule of `body` under `cfg`.
+///
+/// The body runs many times; create tracked cells, mutexes and virtual
+/// threads *inside* it so every execution starts fresh. Properties are plain
+/// `assert!`s — a panic on any schedule becomes a replayable counterexample.
+pub fn check<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync + 'static> = Arc::new(body);
+    if let Some(s) = cfg.schedule.clone() {
+        let list = match parse_schedule(&s) {
+            Ok(l) => l,
+            Err(e) => {
+                return Report {
+                    executions: 0,
+                    truncated: false,
+                    outcome: Outcome::ScheduleMismatch(e),
+                }
+            }
+        };
+        let mut ex = Explorer {
+            cfg,
+            stack: Vec::new(),
+            truncated: false,
+        };
+        let end = ex.run_one(body, Some(&list));
+        let outcome = match end {
+            ExecEnd::Failed(cx) => Outcome::Fail(cx),
+            ExecEnd::AllDone | ExecEnd::Pruned => Outcome::Pass,
+            ExecEnd::StepBudget => Outcome::Budget("max_steps exceeded during replay".to_string()),
+            ExecEnd::Mismatch(m) => Outcome::ScheduleMismatch(m),
+        };
+        return Report {
+            executions: 1,
+            truncated: false,
+            outcome,
+        };
+    }
+
+    let mut ex = Explorer {
+        cfg,
+        stack: Vec::new(),
+        truncated: false,
+    };
+    let mut executions: u64 = 0;
+    loop {
+        if executions >= ex.cfg.max_executions {
+            return Report {
+                executions,
+                truncated: ex.truncated,
+                outcome: Outcome::Budget(format!(
+                    "exceeded max_executions={} before covering the schedule space",
+                    ex.cfg.max_executions
+                )),
+            };
+        }
+        executions += 1;
+        match ex.run_one(body.clone(), None) {
+            ExecEnd::Failed(cx) => {
+                return Report {
+                    executions,
+                    truncated: ex.truncated,
+                    outcome: Outcome::Fail(cx),
+                }
+            }
+            ExecEnd::StepBudget => {
+                return Report {
+                    executions,
+                    truncated: ex.truncated,
+                    outcome: Outcome::Budget(format!(
+                        "an execution exceeded max_steps={}",
+                        ex.cfg.max_steps
+                    )),
+                }
+            }
+            ExecEnd::Mismatch(m) => {
+                panic!("mc internal error: deterministic replay diverged: {m}")
+            }
+            ExecEnd::AllDone | ExecEnd::Pruned => {
+                if !ex.advance() {
+                    return Report {
+                        executions,
+                        truncated: ex.truncated,
+                        outcome: Outcome::Pass,
+                    };
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,864 @@
+//! Execution runtime: virtual threads, tracked cells, and the operational
+//! weak-memory model.
+//!
+//! One *execution* runs the checked body once under a controller (the thread
+//! that called [`crate::check`]). Every virtual thread is a real OS thread,
+//! but at most one runs user code at any instant: each tracked operation is a
+//! rendezvous where the thread parks, the controller picks who proceeds (and,
+//! for loads, which store is read), and the chosen thread applies the
+//! operation against the shared model state.
+//!
+//! ## Memory model (vector clocks, loom-style)
+//!
+//! Each thread carries a happens-before clock `clock`, a `rel_fence` clock
+//! (snapshot of `clock` at its last Release fence) and an `acq_pending` clock
+//! (accumulated message clocks of its Relaxed loads, merged into `clock` at
+//! an Acquire fence). Each store records the writer, the writer's local time,
+//! and a *message* clock: the writer's full clock for Release-or-stronger
+//! stores, `rel_fence` for Relaxed stores. An Acquire-or-stronger load joins
+//! the message into `clock`; a Relaxed load joins it into `acq_pending`.
+//! RMWs additionally join the previous store's message into their own
+//! (release-sequence continuation). SeqCst operations join with a global
+//! `sc` clock, which models the total order S as strictly-stronger-than-C11
+//! (sound for finding bugs in code that *uses* SeqCst; see INTERNALS.md).
+//!
+//! A load may read any store in the cell's modification order that is not
+//! older than (a) the newest store already read by this thread (read-read
+//! coherence) and (b) the newest store the thread's clock knows about
+//! (write-read coherence). The explorer enumerates every such candidate.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VClock;
+
+/// Writer id used for the initial value of a cell (known to every thread).
+pub(crate) const INIT_WRITER: usize = usize::MAX;
+
+/// Global epoch counter; each execution gets a fresh epoch so cell and mutex
+/// registrations from earlier executions are never reused.
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn next_epoch() -> u64 {
+    EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Panic payload used to cancel a parked virtual thread during teardown.
+pub(crate) struct Cancelled;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Executing user code (or about to); the controller must wait.
+    Running,
+    /// Parked at a rendezvous with `pending` declared.
+    AtPoint,
+    /// The thread's body returned (or panicked; see `State::failure`).
+    Finished,
+}
+
+/// A declared-but-not-yet-executed operation; what the controller needs for
+/// enabledness and dependency analysis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    Begin,
+    Load { cell: usize, ord: Ordering },
+    Store { cell: usize, ord: Ordering },
+    Rmw { cell: usize, ord: Ordering },
+    Fence { ord: Ordering },
+    Lock { mutex: usize },
+    Unlock { mutex: usize },
+    Join { tid: usize },
+}
+
+impl Op {
+    fn is_sc(self) -> bool {
+        let ord = match self {
+            Op::Load { ord, .. } | Op::Store { ord, .. } | Op::Rmw { ord, .. } => ord,
+            Op::Fence { ord } => ord,
+            _ => return false,
+        };
+        // SeqCst ops all touch the global `sc` clock, so any two of them are
+        // treated as dependent by the explorer.
+        ord == Ordering::SeqCst
+    }
+
+    fn cell_access(self) -> Option<(usize, bool)> {
+        match self {
+            Op::Load { cell, .. } => Some((cell, false)),
+            Op::Store { cell, .. } | Op::Rmw { cell, .. } => Some((cell, true)),
+            _ => None,
+        }
+    }
+}
+
+/// True when the two operations do not commute (used for DPOR backtracking
+/// and sleep-set wakeups). Conservative over-approximation is sound; an
+/// under-approximation would prune reachable behaviors.
+pub(crate) fn dependent(a: Op, b: Op) -> bool {
+    if let (Some((ca, wa)), Some((cb, wb))) = (a.cell_access(), b.cell_access()) {
+        if ca == cb && (wa || wb) {
+            return true;
+        }
+    }
+    let mutex_of = |op: Op| match op {
+        Op::Lock { mutex } | Op::Unlock { mutex } => Some(mutex),
+        _ => None,
+    };
+    if let (Some(ma), Some(mb)) = (mutex_of(a), mutex_of(b)) {
+        if ma == mb {
+            return true;
+        }
+    }
+    a.is_sc() && b.is_sc()
+}
+
+pub(crate) struct StoreRec {
+    pub val: u64,
+    pub writer: usize,
+    /// The writer's own clock component when it issued this store.
+    pub time: u64,
+    /// Clock acquired by readers that synchronize with this store.
+    pub msg: VClock,
+}
+
+pub(crate) struct CellState {
+    pub label: String,
+    pub stores: Vec<StoreRec>,
+}
+
+pub(crate) struct MutexState {
+    pub label: String,
+    pub owner: Option<usize>,
+    /// Clock of the last unlock; joined by the next locker (HB edge).
+    pub release: VClock,
+}
+
+pub(crate) struct Th {
+    pub status: Status,
+    pub pending: Option<Op>,
+    pub granted: bool,
+    pub clock: VClock,
+    pub rel_fence: VClock,
+    pub acq_pending: VClock,
+    /// Per cell: newest modification-order index this thread has read or
+    /// written (coherence floor for its next read).
+    pub last_read: HashMap<usize, usize>,
+}
+
+impl Th {
+    pub(crate) fn new(clock: VClock, pending: Op) -> Self {
+        Th {
+            status: Status::AtPoint,
+            pending: Some(pending),
+            granted: false,
+            clock,
+            rel_fence: VClock::new(),
+            acq_pending: VClock::new(),
+            last_read: HashMap::new(),
+        }
+    }
+}
+
+pub(crate) struct State {
+    pub epoch: u64,
+    pub threads: Vec<Th>,
+    pub cells: Vec<CellState>,
+    pub mutexes: Vec<MutexState>,
+    /// Global clock threading the total order of SeqCst operations.
+    pub sc: VClock,
+    pub shutdown: bool,
+    pub failure: Option<String>,
+    /// Absolute store index the controller chose for the next granted load.
+    pub read_choice: Option<usize>,
+    pub trace: Vec<String>,
+    pub os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl State {
+    pub(crate) fn new(epoch: u64) -> Self {
+        State {
+            epoch,
+            threads: Vec::new(),
+            cells: Vec::new(),
+            mutexes: Vec::new(),
+            sc: VClock::new(),
+            shutdown: false,
+            failure: None,
+            read_choice: None,
+            trace: Vec::new(),
+            os_handles: Vec::new(),
+        }
+    }
+
+    pub(crate) fn op_enabled(&self, op: Op) -> bool {
+        match op {
+            Op::Lock { mutex } => self.mutexes[mutex].owner.is_none(),
+            Op::Join { tid } => self.threads[tid].status == Status::Finished,
+            _ => true,
+        }
+    }
+
+    fn acquires(ord: Ordering) -> bool {
+        // SeqCst subsumes Acquire on the load side.
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn releases(ord: Ordering) -> bool {
+        // SeqCst subsumes Release on the store side.
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn push_trace(&mut self, me: usize, text: String) {
+        self.trace.push(format!("t{me} {text}"));
+    }
+
+    pub(crate) fn apply_begin(&mut self, me: usize) {
+        self.threads[me].clock.bump(me);
+        self.push_trace(me, "begin".to_string());
+    }
+
+    pub(crate) fn apply_fence(&mut self, me: usize, ord: Ordering) {
+        self.threads[me].clock.bump(me);
+        if Self::acquires(ord) {
+            let pend = self.threads[me].acq_pending.clone();
+            self.threads[me].clock.join(&pend);
+        }
+        if Self::releases(ord) {
+            self.threads[me].rel_fence = self.threads[me].clock.clone();
+        }
+        // SeqCst fences additionally order against every other SeqCst op via
+        // the global sc clock.
+        if ord == Ordering::SeqCst {
+            self.threads[me].clock.join(&self.sc.clone());
+            let c = self.threads[me].clock.clone();
+            self.sc.join(&c);
+        }
+        self.push_trace(me, format!("fence {ord:?}"));
+    }
+
+    pub(crate) fn apply_store(&mut self, me: usize, cell: usize, ord: Ordering, val: u64) {
+        debug_assert!(
+            matches!(
+                ord,
+                // Validating the caller's ordering, not choosing one: SeqCst
+                // is a legal store ordering in std's API, so it is here too.
+                Ordering::Relaxed | Ordering::Release | Ordering::SeqCst
+            ),
+            "invalid store ordering {ord:?}"
+        );
+        let time = self.threads[me].clock.bump(me);
+        // A SeqCst store publishes its clock into the SeqCst total order.
+        if ord == Ordering::SeqCst {
+            let c = self.threads[me].clock.clone();
+            self.sc.join(&c);
+        }
+        let th = &self.threads[me];
+        let msg = if Self::releases(ord) {
+            th.clock.clone()
+        } else {
+            th.rel_fence.clone()
+        };
+        let idx = self.cells[cell].stores.len();
+        self.cells[cell].stores.push(StoreRec {
+            val,
+            writer: me,
+            time,
+            msg,
+        });
+        self.threads[me].last_read.insert(cell, idx);
+        let label = self.cells[cell].label.clone();
+        self.push_trace(me, format!("store {label} <- {val} {ord:?} [#{idx}]"));
+    }
+
+    /// Candidate stores a load by `me` on `cell` may read: the contiguous
+    /// modification-order suffix `[lo, n)`. Returns `(lo, n)`.
+    pub(crate) fn load_candidates(&self, me: usize, cell: usize, ord: Ordering) -> (usize, usize) {
+        let th = &self.threads[me];
+        let mut view = th.clock.clone();
+        // A SeqCst load will join the sc clock before reading; candidates
+        // must be computed against that post-join view.
+        if ord == Ordering::SeqCst {
+            view.join(&self.sc);
+        }
+        let stores = &self.cells[cell].stores;
+        let mut lo = th.last_read.get(&cell).copied().unwrap_or(0);
+        for (i, s) in stores.iter().enumerate().skip(lo) {
+            if s.writer != INIT_WRITER && view.get(s.writer) >= s.time {
+                lo = i;
+            }
+        }
+        (lo, stores.len())
+    }
+
+    pub(crate) fn apply_load(&mut self, me: usize, cell: usize, ord: Ordering) -> u64 {
+        debug_assert!(
+            matches!(
+                ord,
+                // Validating the caller's ordering, not choosing one: SeqCst
+                // is a legal load ordering in std's API, so it is here too.
+                Ordering::Relaxed | Ordering::Acquire | Ordering::SeqCst
+            ),
+            "invalid load ordering {ord:?}"
+        );
+        let choice = self
+            .read_choice
+            .take()
+            .expect("mc internal: load granted without a read choice");
+        self.threads[me].clock.bump(me);
+        // SeqCst load: become aware of every prior SeqCst-published store.
+        if ord == Ordering::SeqCst {
+            let sc = self.sc.clone();
+            self.threads[me].clock.join(&sc);
+        }
+        let (val, msg) = {
+            let s = &self.cells[cell].stores[choice];
+            (s.val, s.msg.clone())
+        };
+        if Self::acquires(ord) {
+            self.threads[me].clock.join(&msg);
+        } else {
+            self.threads[me].acq_pending.join(&msg);
+        }
+        // SeqCst load: publish into the SeqCst total order as well.
+        if ord == Ordering::SeqCst {
+            let c = self.threads[me].clock.clone();
+            self.sc.join(&c);
+        }
+        self.threads[me].last_read.insert(cell, choice);
+        let label = self.cells[cell].label.clone();
+        self.push_trace(me, format!("load {label} {ord:?} -> {val} [#{choice}]"));
+        val
+    }
+
+    /// One-shot atomic read-modify-write against the newest store.
+    pub(crate) fn apply_rmw(
+        &mut self,
+        me: usize,
+        cell: usize,
+        set_ord: Ordering,
+        fetch_ord: Ordering,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+    ) -> (Result<u64, u64>, u64) {
+        let prev_idx = self.cells[cell].stores.len() - 1;
+        let (prev, prev_msg) = {
+            let s = &self.cells[cell].stores[prev_idx];
+            (s.val, s.msg.clone())
+        };
+        match f(prev) {
+            Some(newv) => {
+                let time = self.threads[me].clock.bump(me);
+                // SeqCst RMW behaves as SeqCst load + store on the sc clock.
+                if set_ord == Ordering::SeqCst {
+                    let sc = self.sc.clone();
+                    self.threads[me].clock.join(&sc);
+                }
+                if Self::acquires(set_ord) {
+                    self.threads[me].clock.join(&prev_msg);
+                } else {
+                    self.threads[me].acq_pending.join(&prev_msg);
+                }
+                // SeqCst RMW also publishes into the sc total order.
+                if set_ord == Ordering::SeqCst {
+                    let c = self.threads[me].clock.clone();
+                    self.sc.join(&c);
+                }
+                let th = &self.threads[me];
+                let mut msg = if Self::releases(set_ord) {
+                    th.clock.clone()
+                } else {
+                    th.rel_fence.clone()
+                };
+                // RMWs continue the release sequence of the store they read.
+                msg.join(&prev_msg);
+                let idx = self.cells[cell].stores.len();
+                self.cells[cell].stores.push(StoreRec {
+                    val: newv,
+                    writer: me,
+                    time,
+                    msg,
+                });
+                self.threads[me].last_read.insert(cell, idx);
+                let label = self.cells[cell].label.clone();
+                self.push_trace(
+                    me,
+                    format!("rmw {label} {prev} -> {newv} {set_ord:?} [#{idx}]"),
+                );
+                (Ok(prev), newv)
+            }
+            None => {
+                self.threads[me].clock.bump(me);
+                if Self::acquires(fetch_ord) {
+                    self.threads[me].clock.join(&prev_msg);
+                } else {
+                    self.threads[me].acq_pending.join(&prev_msg);
+                }
+                self.threads[me].last_read.insert(cell, prev_idx);
+                let label = self.cells[cell].label.clone();
+                self.push_trace(me, format!("rmw {label} abort -> {prev} {fetch_ord:?}"));
+                (Err(prev), prev)
+            }
+        }
+    }
+
+    pub(crate) fn apply_lock(&mut self, me: usize, mutex: usize) {
+        debug_assert!(self.mutexes[mutex].owner.is_none());
+        self.threads[me].clock.bump(me);
+        let rel = self.mutexes[mutex].release.clone();
+        self.threads[me].clock.join(&rel);
+        self.mutexes[mutex].owner = Some(me);
+        let label = self.mutexes[mutex].label.clone();
+        self.push_trace(me, format!("lock {label}"));
+    }
+
+    pub(crate) fn apply_unlock(&mut self, me: usize, mutex: usize) {
+        self.threads[me].clock.bump(me);
+        self.mutexes[mutex].release = self.threads[me].clock.clone();
+        self.mutexes[mutex].owner = None;
+        let label = self.mutexes[mutex].label.clone();
+        self.push_trace(me, format!("unlock {label}"));
+    }
+
+    pub(crate) fn apply_join(&mut self, me: usize, tid: usize) {
+        self.threads[me].clock.bump(me);
+        let c = self.threads[tid].clock.clone();
+        self.threads[me].clock.join(&c);
+        self.push_trace(me, format!("join t{tid}"));
+    }
+}
+
+pub(crate) struct Shared {
+    pub m: StdMutex<State>,
+    pub cv: Condvar,
+}
+
+impl Shared {
+    pub(crate) fn new(epoch: u64) -> Arc<Self> {
+        Arc::new(Shared {
+            m: StdMutex::new(State::new(epoch)),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> StdMutexGuard<'_, State> {
+        self.m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn wait<'a>(&self, g: StdMutexGuard<'a, State>) -> StdMutexGuard<'a, State> {
+        self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub sh: Arc<Shared>,
+    pub me: usize,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(ctx: Option<Ctx>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Rendezvous: declare `op`, park until the controller grants it, then apply
+/// `exec` against the model state under the lock. Returns `None` when the
+/// execution is tearing down (caller falls back to plain std behavior), and
+/// unwinds with [`Cancelled`] when torn down mid-park.
+pub(crate) fn op_cycle<R>(
+    ctx: &Ctx,
+    op: Op,
+    exec: impl FnOnce(&mut State, usize) -> R,
+) -> Option<R> {
+    if std::thread::panicking() {
+        // Never re-enter the scheduler from an unwinding thread (e.g. a
+        // MutexGuard drop during a failed assertion): a second panic during
+        // unwind would abort the process.
+        return None;
+    }
+    let sh = ctx.sh.clone();
+    let mut st = sh.lock();
+    if st.shutdown {
+        return None;
+    }
+    st.threads[ctx.me].pending = Some(op);
+    st.threads[ctx.me].status = Status::AtPoint;
+    sh.cv.notify_all();
+    loop {
+        if st.threads[ctx.me].granted {
+            break;
+        }
+        if st.shutdown {
+            drop(st);
+            std::panic::panic_any(Cancelled);
+        }
+        st = sh.wait(st);
+    }
+    let th = &mut st.threads[ctx.me];
+    th.granted = false;
+    th.pending = None;
+    th.status = Status::Running;
+    Some(exec(&mut st, ctx.me))
+}
+
+/// Body of every virtual thread's OS thread: wait for the Begin grant, run
+/// the user closure, record the outcome.
+pub(crate) fn vthread_main<F: FnOnce()>(sh: Arc<Shared>, me: usize, f: F) {
+    let started = {
+        let mut st = sh.lock();
+        loop {
+            if st.threads[me].granted {
+                let th = &mut st.threads[me];
+                th.granted = false;
+                th.pending = None;
+                th.status = Status::Running;
+                st.apply_begin(me);
+                break true;
+            }
+            if st.shutdown {
+                break false;
+            }
+            st = sh.wait(st);
+        }
+    };
+    let res = if started {
+        set_current(Some(Ctx { sh: sh.clone(), me }));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        set_current(None);
+        r
+    } else {
+        Ok(())
+    };
+    let mut st = sh.lock();
+    st.threads[me].status = Status::Finished;
+    st.threads[me].pending = None;
+    if let Err(p) = res {
+        if p.downcast_ref::<Cancelled>().is_none() && st.failure.is_none() {
+            let msg = if let Some(s) = p.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = p.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "virtual thread panicked".to_string()
+            };
+            st.failure = Some(msg);
+        }
+    }
+    sh.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Public primitives
+// ---------------------------------------------------------------------------
+
+fn pack_reg(epoch: u64, id: usize) -> u64 {
+    ((epoch & 0xffff_ffff) << 32) | ((id as u64 + 1) & 0xffff_ffff)
+}
+
+fn unpack_reg(packed: u64) -> (u64, usize) {
+    (packed >> 32, (packed & 0xffff_ffff) as usize - 1)
+}
+
+/// A model-checked 64-bit atomic. Outside an active exploration it behaves
+/// exactly like [`std::sync::atomic::AtomicU64`]; inside one, every access is
+/// a schedule point and loads may observe any coherent store.
+///
+/// Create tracked cells *inside* the checked body so each execution starts
+/// from the constructor value; cells shared across executions keep their
+/// final fallback value and make runs non-hermetic.
+pub struct TrackedU64 {
+    fallback: AtomicU64,
+    reg: AtomicU64,
+    label: &'static str,
+}
+
+impl TrackedU64 {
+    pub const fn new(v: u64) -> Self {
+        Self::with_label(v, "")
+    }
+
+    /// Like `new`, but traces under `label` instead of a numbered cell id.
+    pub const fn with_label(v: u64, label: &'static str) -> Self {
+        TrackedU64 {
+            fallback: AtomicU64::new(v),
+            reg: AtomicU64::new(0),
+            label,
+        }
+    }
+
+    fn cell_id(&self, ctx: &Ctx) -> usize {
+        let packed = self.reg.load(Ordering::Relaxed);
+        let mut st = ctx.sh.lock();
+        if packed != 0 {
+            let (ep, id) = unpack_reg(packed);
+            if ep == st.epoch & 0xffff_ffff {
+                return id;
+            }
+        }
+        let id = st.cells.len();
+        let label = if self.label.is_empty() {
+            format!("c{id}")
+        } else {
+            self.label.to_string()
+        };
+        st.cells.push(CellState {
+            label,
+            stores: vec![StoreRec {
+                val: self.fallback.load(Ordering::Relaxed),
+                writer: INIT_WRITER,
+                time: 0,
+                msg: VClock::new(),
+            }],
+        });
+        self.reg.store(pack_reg(st.epoch, id), Ordering::Relaxed);
+        id
+    }
+
+    pub fn load(&self, ord: Ordering) -> u64 {
+        if let Some(ctx) = current() {
+            let cell = self.cell_id(&ctx);
+            if let Some(v) = op_cycle(&ctx, Op::Load { cell, ord }, |st, me| {
+                st.apply_load(me, cell, ord)
+            }) {
+                return v;
+            }
+        }
+        self.fallback.load(ord)
+    }
+
+    pub fn store(&self, val: u64, ord: Ordering) {
+        if let Some(ctx) = current() {
+            let cell = self.cell_id(&ctx);
+            if op_cycle(&ctx, Op::Store { cell, ord }, |st, me| {
+                st.apply_store(me, cell, ord, val)
+            })
+            .is_some()
+            {
+                // Mirror so the fallback value tracks the newest store.
+                self.fallback.store(val, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.fallback.store(val, ord);
+    }
+
+    pub fn fetch_add(&self, n: u64, ord: Ordering) -> u64 {
+        if let Some(ctx) = current() {
+            let cell = self.cell_id(&ctx);
+            if let Some((res, latest)) = op_cycle(&ctx, Op::Rmw { cell, ord }, |st, me| {
+                st.apply_rmw(me, cell, ord, ord, &mut |v| Some(v.wrapping_add(n)))
+            }) {
+                self.fallback.store(latest, Ordering::Relaxed);
+                return match res {
+                    Ok(prev) => prev,
+                    Err(prev) => prev,
+                };
+            }
+        }
+        self.fallback.fetch_add(n, ord)
+    }
+
+    pub fn fetch_update<F: FnMut(u64) -> Option<u64>>(
+        &self,
+        set_ord: Ordering,
+        fetch_ord: Ordering,
+        mut f: F,
+    ) -> Result<u64, u64> {
+        if let Some(ctx) = current() {
+            let cell = self.cell_id(&ctx);
+            if let Some((res, latest)) = op_cycle(&ctx, Op::Rmw { cell, ord: set_ord }, |st, me| {
+                st.apply_rmw(me, cell, set_ord, fetch_ord, &mut f)
+            }) {
+                self.fallback.store(latest, Ordering::Relaxed);
+                return res;
+            }
+        }
+        self.fallback.fetch_update(set_ord, fetch_ord, f)
+    }
+}
+
+impl std::fmt::Debug for TrackedU64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrackedU64")
+            .field("value", &self.fallback.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Atomic fence: a schedule point inside an exploration, a real
+/// [`std::sync::atomic::fence`] otherwise.
+pub fn fence(ord: Ordering) {
+    if let Some(ctx) = current() {
+        if op_cycle(&ctx, Op::Fence { ord }, |st, me| st.apply_fence(me, ord)).is_some() {
+            return;
+        }
+    }
+    // Facade forwarding: pairing is the caller's obligation, documented
+    // at the caller's own fence site.
+    // xlint: allow(no-bare-fence)
+    std::sync::atomic::fence(ord);
+}
+
+/// A model-checked mutex. The real `std` mutex still guards the data in both
+/// modes; under exploration the scheduler additionally decides who acquires
+/// it (so blocking never happens at the OS level) and records the
+/// happens-before edge from unlock to the next lock.
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+    reg: AtomicU64,
+    label: &'static str,
+}
+
+pub struct MutexGuard<'a, T> {
+    inner: Option<StdMutexGuard<'a, T>>,
+    tracked: Option<(Ctx, usize)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self::with_label(t, "")
+    }
+
+    pub const fn with_label(t: T, label: &'static str) -> Self {
+        Mutex {
+            inner: StdMutex::new(t),
+            reg: AtomicU64::new(0),
+            label,
+        }
+    }
+
+    fn mutex_id(&self, ctx: &Ctx) -> usize {
+        let packed = self.reg.load(Ordering::Relaxed);
+        let mut st = ctx.sh.lock();
+        if packed != 0 {
+            let (ep, id) = unpack_reg(packed);
+            if ep == st.epoch & 0xffff_ffff {
+                return id;
+            }
+        }
+        let id = st.mutexes.len();
+        let label = if self.label.is_empty() {
+            format!("m{id}")
+        } else {
+            self.label.to_string()
+        };
+        st.mutexes.push(MutexState {
+            label,
+            owner: None,
+            release: VClock::new(),
+        });
+        self.reg.store(pack_reg(st.epoch, id), Ordering::Relaxed);
+        id
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let tracked = if let Some(ctx) = current() {
+            let mid = self.mutex_id(&ctx);
+            op_cycle(&ctx, Op::Lock { mutex: mid }, |st, me| {
+                st.apply_lock(me, mid)
+            })
+            .map(|()| (ctx, mid))
+        } else {
+            None
+        };
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            inner: Some(g),
+            tracked,
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard accessed after drop"),
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard accessed after drop"),
+        }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first; the model still considers the mutex
+        // owned until the Unlock op executes, so no other virtual thread can
+        // race in between.
+        self.inner.take();
+        if let Some((ctx, mid)) = self.tracked.take() {
+            let _ = op_cycle(&ctx, Op::Unlock { mutex: mid }, |st, me| {
+                st.apply_unlock(me, mid)
+            });
+        }
+    }
+}
+
+enum JoinInner {
+    Model { sh: Arc<Shared>, tid: usize },
+    Os(std::thread::JoinHandle<()>),
+}
+
+/// Handle returned by [`spawn`].
+pub struct JoinHandle(JoinInner);
+
+impl JoinHandle {
+    /// The virtual thread id under exploration (None in fallback mode).
+    pub fn tid(&self) -> Option<usize> {
+        match &self.0 {
+            JoinInner::Model { tid, .. } => Some(*tid),
+            JoinInner::Os(_) => None,
+        }
+    }
+
+    pub fn join(self) {
+        match self.0 {
+            JoinInner::Os(h) => {
+                if let Err(p) = h.join() {
+                    std::panic::resume_unwind(p);
+                }
+            }
+            JoinInner::Model { sh, tid } => {
+                let ctx = current().expect("mc::JoinHandle::join outside its exploration");
+                debug_assert!(Arc::ptr_eq(&ctx.sh, &sh));
+                let _ = op_cycle(&ctx, Op::Join { tid }, |st, me| st.apply_join(me, tid));
+            }
+        }
+    }
+}
+
+/// Spawn a virtual thread inside an exploration, or a plain OS thread
+/// outside one.
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    if let Some(ctx) = current() {
+        let sh = ctx.sh.clone();
+        let tid = {
+            let mut st = sh.lock();
+            let clock = st.threads[ctx.me].clock.clone();
+            let tid = st.threads.len();
+            st.threads.push(Th::new(clock, Op::Begin));
+            st.push_trace(ctx.me, format!("spawn t{tid}"));
+            tid
+        };
+        let sh2 = sh.clone();
+        let handle = std::thread::spawn(move || vthread_main(sh2, tid, f));
+        sh.lock().os_handles.push(handle);
+        JoinHandle(JoinInner::Model { sh, tid })
+    } else {
+        JoinHandle(JoinInner::Os(std::thread::spawn(f)))
+    }
+}

@@ -1,0 +1,286 @@
+//! Litmus tests pinning down the checker's weak-memory semantics: classic
+//! shapes must allow exactly the behaviors the C11 model allows.
+
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::Arc;
+
+use clampi_mc as mc;
+
+fn cfg() -> mc::Config {
+    mc::Config::default()
+}
+
+#[test]
+fn mp_release_acquire_passes() {
+    // Message passing with a Release store / Acquire load pair: the payload
+    // must be visible once the flag is observed.
+    let report = mc::check(cfg(), || {
+        let data = Arc::new(mc::TrackedU64::with_label(0, "data"));
+        let flag = Arc::new(mc::TrackedU64::with_label(0, "flag"));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = mc::spawn(move || {
+            d2.store(42, Relaxed);
+            f2.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "payload invisible after flag");
+        }
+        t.join();
+    });
+    report.assert_pass();
+    assert!(!report.truncated);
+}
+
+#[test]
+fn mp_all_relaxed_fails() {
+    // Without release/acquire the stale payload is observable.
+    let report = mc::check(cfg(), || {
+        let data = Arc::new(mc::TrackedU64::with_label(0, "data"));
+        let flag = Arc::new(mc::TrackedU64::with_label(0, "flag"));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = mc::spawn(move || {
+            d2.store(42, Relaxed);
+            f2.store(1, Relaxed);
+        });
+        if flag.load(Relaxed) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "stale payload after flag");
+        }
+        t.join();
+    });
+    let cx = report.expect_fail();
+    assert!(cx.message.contains("stale payload"), "got: {}", cx.message);
+    assert!(!cx.schedule.is_empty());
+}
+
+#[test]
+fn mp_fence_pair_passes() {
+    // Same shape but synchronized through a Release fence before a Relaxed
+    // flag store and an Acquire fence after a Relaxed flag load — exactly the
+    // seqlock recipe's fence discipline.
+    let report = mc::check(cfg(), || {
+        let data = Arc::new(mc::TrackedU64::with_label(0, "data"));
+        let flag = Arc::new(mc::TrackedU64::with_label(0, "flag"));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = mc::spawn(move || {
+            d2.store(42, Relaxed);
+            mc::fence(Release); // pairs with the reader's Acquire fence
+            f2.store(1, Relaxed);
+        });
+        if flag.load(Relaxed) == 1 {
+            mc::fence(Acquire); // pairs with the writer's Release fence
+            assert_eq!(data.load(Relaxed), 42, "fence pair failed to publish");
+        }
+        t.join();
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn store_buffering_relaxed_observes_both_zero() {
+    // SB with Relaxed accesses: r0 == 0 && r1 == 0 is a legal weak behavior,
+    // so asserting it never happens must fail.
+    let report = mc::check(cfg(), || {
+        let x = Arc::new(mc::TrackedU64::with_label(0, "x"));
+        let y = Arc::new(mc::TrackedU64::with_label(0, "y"));
+        let (x2, y2) = (x.clone(), y.clone());
+        let res = Arc::new(mc::Mutex::new((u64::MAX, u64::MAX)));
+        let res2 = res.clone();
+        let t = mc::spawn(move || {
+            x2.store(1, Relaxed);
+            res2.lock().0 = y2.load(Relaxed);
+        });
+        y.store(1, Relaxed);
+        let r1 = x.load(Relaxed);
+        t.join();
+        let r0 = res.lock().0;
+        assert!(!(r0 == 0 && r1 == 0), "store buffering observed");
+    });
+    report.expect_fail();
+}
+
+#[test]
+fn store_buffering_seqcst_forbids_both_zero() {
+    use std::sync::atomic::Ordering::SeqCst; // SeqCst litmus: total order forbids 0/0
+    let report = mc::check(cfg(), || {
+        let x = Arc::new(mc::TrackedU64::with_label(0, "x"));
+        let y = Arc::new(mc::TrackedU64::with_label(0, "y"));
+        let (x2, y2) = (x.clone(), y.clone());
+        let res = Arc::new(mc::Mutex::new((u64::MAX, u64::MAX)));
+        let res2 = res.clone();
+        let t = mc::spawn(move || {
+            x2.store(1, SeqCst); // SeqCst store: publishes into the total order
+            res2.lock().0 = y2.load(SeqCst); // SeqCst load: must see the order
+        });
+        y.store(1, SeqCst); // SeqCst store (other side)
+        let r1 = x.load(SeqCst); // SeqCst load (other side)
+        t.join();
+        let r0 = res.lock().0;
+        assert!(!(r0 == 0 && r1 == 0), "SB under SeqCst must forbid 0/0");
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn read_read_coherence_holds() {
+    // A thread may not read an older store after a newer one (same cell).
+    let report = mc::check(cfg(), || {
+        let x = Arc::new(mc::TrackedU64::with_label(0, "x"));
+        let x2 = x.clone();
+        let t = mc::spawn(move || {
+            x2.store(1, Relaxed);
+            x2.store(2, Relaxed);
+        });
+        let a = x.load(Relaxed);
+        let b = x.load(Relaxed);
+        t.join();
+        assert!(!(a == 2 && b == 1), "read-read coherence violated");
+        assert!(!(a == 1 && b == 0), "read-read coherence violated");
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn rmw_reads_latest_and_is_atomic() {
+    // Two concurrent fetch_adds never lose an increment.
+    let report = mc::check(cfg(), || {
+        let x = Arc::new(mc::TrackedU64::with_label(0, "x"));
+        let x2 = x.clone();
+        let t = mc::spawn(move || {
+            x2.fetch_add(1, Relaxed);
+        });
+        x.fetch_add(1, Relaxed);
+        t.join();
+        assert_eq!(x.load(Relaxed), 2, "lost increment");
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn release_sequence_through_rmw() {
+    // Release store, then a Relaxed RMW by another thread: an Acquire load
+    // that reads the RMW still synchronizes with the original release.
+    let report = mc::check(cfg(), || {
+        let data = Arc::new(mc::TrackedU64::with_label(0, "data"));
+        let flag = Arc::new(mc::TrackedU64::with_label(0, "flag"));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let (d3, f3) = (data.clone(), flag.clone());
+        let t1 = mc::spawn(move || {
+            d2.store(7, Relaxed);
+            f2.store(1, Release);
+        });
+        let t2 = mc::spawn(move || {
+            let _ = f3.fetch_update(Relaxed, Relaxed, |v| if v == 1 { Some(2) } else { None });
+            let _ = d3;
+        });
+        if flag.load(Acquire) == 2 {
+            assert_eq!(data.load(Relaxed), 7, "release sequence broken by RMW");
+        }
+        t1.join();
+        t2.join();
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn mutex_provides_mutual_exclusion_and_hb() {
+    let report = mc::check(cfg(), || {
+        let n = Arc::new(mc::Mutex::with_label(0u64, "n"));
+        let n2 = n.clone();
+        let t = mc::spawn(move || {
+            let mut g = n2.lock();
+            *g += 1;
+        });
+        {
+            let mut g = n.lock();
+            *g += 1;
+        }
+        t.join();
+        assert_eq!(*n.lock(), 2);
+    });
+    report.assert_pass();
+}
+
+#[test]
+fn abba_deadlock_detected() {
+    let report = mc::check(cfg(), || {
+        let a = Arc::new(mc::Mutex::with_label(0u64, "a"));
+        let b = Arc::new(mc::Mutex::with_label(0u64, "b"));
+        let (a2, b2) = (a.clone(), b.clone());
+        let t = mc::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop(_ga);
+        drop(_gb);
+        t.join();
+    });
+    let cx = report.expect_fail();
+    assert!(cx.message.contains("deadlock"), "got: {}", cx.message);
+}
+
+#[test]
+fn fallback_mode_without_checker_behaves_like_std() {
+    // Outside check() every primitive degrades to std semantics.
+    let x = mc::TrackedU64::new(5);
+    assert_eq!(x.load(Relaxed), 5);
+    x.store(6, Release);
+    assert_eq!(x.fetch_add(4, Relaxed), 6);
+    assert_eq!(x.fetch_update(Relaxed, Relaxed, |v| Some(v * 2)), Ok(10));
+    assert_eq!(x.load(Acquire), 20);
+    mc::fence(Acquire); // xlint: allow(no-bare-fence) exercising the std fallback, nothing to pair
+
+    let m = Arc::new(mc::Mutex::new(0u64));
+    let m2 = m.clone();
+    let t = mc::spawn(move || {
+        *m2.lock() += 1;
+    });
+    assert!(t.tid().is_none(), "no virtual tid outside an exploration");
+    t.join();
+    assert_eq!(*m.lock(), 1);
+}
+
+#[test]
+fn schedule_roundtrip_via_env_format() {
+    // The CLAMPI_MC_SCHEDULE string printed on failure parses back into the
+    // same decisions: replaying the failure's schedule fails identically.
+    let body = || {
+        let data = Arc::new(mc::TrackedU64::with_label(0, "data"));
+        let flag = Arc::new(mc::TrackedU64::with_label(0, "flag"));
+        let (d2, f2) = (data.clone(), flag.clone());
+        let t = mc::spawn(move || {
+            d2.store(42, Relaxed);
+            f2.store(1, Relaxed);
+        });
+        if flag.load(Relaxed) == 1 {
+            assert_eq!(data.load(Relaxed), 42, "stale payload after flag");
+        }
+        t.join();
+    };
+    let first = mc::check(cfg(), body);
+    let cx = first.expect_fail().clone();
+    let replay = mc::check(cfg().with_schedule(&cx.schedule), body);
+    let cx2 = replay.expect_fail();
+    assert_eq!(replay.executions, 1, "replay must be a single execution");
+    assert_eq!(cx2.trace, cx.trace);
+    assert_eq!(cx2.message, cx.message);
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let body = || {
+        let x = Arc::new(mc::TrackedU64::with_label(0, "x"));
+        let x2 = x.clone();
+        let t = mc::spawn(move || x2.store(1, Relaxed));
+        let v = x.load(Relaxed);
+        t.join();
+        assert_eq!(v, 0, "deliberately flaky property");
+    };
+    let a = mc::check(cfg(), body);
+    let b = mc::check(cfg(), body);
+    let (ca, cb) = (a.expect_fail(), b.expect_fail());
+    assert_eq!(ca.schedule, cb.schedule);
+    assert_eq!(ca.trace, cb.trace);
+    assert_eq!(a.executions, b.executions);
+}

@@ -151,6 +151,20 @@ pub enum SanKind {
         /// The (smaller) version just observed.
         observed: u64,
     },
+    /// A drained record's commit timestamp ran backwards for its target:
+    /// the commit clock is stamped inside the ring lock, so per-target
+    /// `PutRecord.ts` order must agree with version order — a regression
+    /// indicates stamping outside the lock (the planted mutant
+    /// `mc_mutant_stamp_outside_ring_lock_caught` demonstrates exactly
+    /// this corruption) or a torn drain.
+    TsRegression {
+        /// The target whose drained timestamps regressed.
+        target: usize,
+        /// The highest commit timestamp previously drained from it.
+        prior: u64,
+        /// The (smaller) timestamp just drained.
+        observed: u64,
+    },
     /// A notification drain returned records out of order: a record's
     /// version was not strictly greater than the cursor/previous record.
     NotifyOrder {
@@ -230,6 +244,15 @@ impl fmt::Display for SanDiag {
                 f,
                 "version counter of target {target} regressed: observed \
                  {observed} after {prior}"
+            ),
+            SanKind::TsRegression {
+                target,
+                prior,
+                observed,
+            } => write!(
+                f,
+                "commit timestamps of target {target} ran backwards: drained \
+                 ts {observed} after {prior}"
             ),
             SanKind::NotifyOrder {
                 target,
@@ -545,6 +568,9 @@ pub(crate) struct WinSanLocal {
     fence_mode: bool,
     pending_reads: Vec<PendingRead>,
     last_version: Vec<u64>,
+    /// Highest commit timestamp drained per target; mirrors
+    /// `last_version` for the `TsRegression` check.
+    last_ts: Vec<u64>,
 }
 
 impl WinSanLocal {
@@ -555,6 +581,7 @@ impl WinSanLocal {
             fence_mode: false,
             pending_reads: Vec::new(),
             last_version: vec![0; ntargets],
+            last_ts: vec![0; ntargets],
         }
     }
 
@@ -696,6 +723,24 @@ impl WinSanLocal {
                     cursor: prev,
                     observed: r.version,
                 });
+            } else if r.version > self.last_version[target] {
+                // Commit timestamps must advance with versions (stamped
+                // inside the ring lock), so a record that moves this
+                // target's version frontier forward must also move its
+                // timestamp frontier. Records at or below the frontier
+                // are re-drains from an older cursor: their repeated
+                // timestamps are not a stamping bug, so they are skipped
+                // (mirroring `check_version`'s tolerance of equality).
+                let prior_ts = self.last_ts[target];
+                if r.ts <= prior_ts {
+                    san.report(SanKind::TsRegression {
+                        target,
+                        prior: prior_ts,
+                        observed: r.ts,
+                    });
+                } else {
+                    self.last_ts[target] = r.ts;
+                }
             }
             prev = prev.max(r.version);
         }
@@ -796,6 +841,45 @@ mod tests {
                 }
             }]
         );
+    }
+
+    #[test]
+    fn ts_regression_is_reported() {
+        use crate::window::PutRecord;
+        let mut local = WinSanLocal::new(1);
+        let (san, h) = collect_ctx(0, 1);
+        let rec = |version, ts| PutRecord {
+            origin: 0,
+            disp: 0,
+            len: 8,
+            version,
+            ts,
+        };
+        // Clean: timestamps advance with versions, also across drains.
+        local.check_drain(&san, 0, 0, &[rec(1, 10), rec(2, 12)], 2);
+        assert_eq!(h.count(), 0);
+        // The stamp-outside-the-ring-lock mutant's signature: the version
+        // advances but the drained commit timestamp runs backwards.
+        local.check_drain(&san, 0, 2, &[rec(3, 11)], 3);
+        let diags = h.take();
+        assert_eq!(diags.len(), 1);
+        assert!(matches!(
+            diags[0].kind,
+            SanKind::TsRegression {
+                target: 0,
+                prior: 12,
+                observed: 11
+            }
+        ));
+        assert!(
+            diags[0].to_string().contains("ran backwards"),
+            "got: {}",
+            diags[0]
+        );
+        // Re-draining already-seen records from an older cursor repeats
+        // their timestamps; like `check_version`, equality is clean.
+        local.check_drain(&san, 0, 0, &[rec(1, 10), rec(2, 12)], 3);
+        assert_eq!(h.count(), 0, "re-drain from an old cursor must be clean");
     }
 
     #[test]

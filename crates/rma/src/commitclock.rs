@@ -1,0 +1,210 @@
+//! The window-global commit clock, extracted from `window.rs` so the
+//! model checker can exercise the *shipped* stamping code.
+//!
+//! [`CommitClock`] is the timestamp authority behind snapshot consistency:
+//! every write stamps itself with [`CommitClock::stamp`] *inside the
+//! target's ring lock*, and horizon/drain readers sample
+//! [`CommitClock::read`] inside the same lock. The clock is strictly
+//! increasing, so per-target timestamp order matches ring version order
+//! (the property `clampi`'s snapshot layer and RMASAN's `TsRegression`
+//! check both rely on).
+//!
+//! **Memory ordering.** Both operations are `Relaxed`. That is sufficient
+//! — not merely convenient — because every cross-field conclusion drawn
+//! from the clock is bridged by the ring mutex:
+//!
+//! - *ts order = version order* needs only (a) mutual exclusion per ring
+//!   (the mutex) and (b) strict monotonicity of the RMW, which is a
+//!   modification-order property of the single atomic cell and holds at
+//!   any ordering.
+//! - *`now_ts` is a true cap* (a put invisible to a drain stamps later,
+//!   hence higher): for the drained target, the put's `stamp` and the
+//!   drain's `read` run under the same ring lock, so the mutex orders the
+//!   RMW after the load and monotonicity gives `ts > now_ts`.
+//!
+//! Before the extraction these sites used `SeqCst` "for one total order";
+//! the order they need is the per-cell modification order, which `Relaxed`
+//! already guarantees. The downgrade is certified by model checking the
+//! shipped code: `mc_commit_ts_order_matches_version_order` and
+//! `mc_snapshot_cap_certifies_validity` below (and `clampi`'s
+//! `mc_snapshot_*` tests) pass exhaustive exploration with these exact
+//! orderings, while the planted stamp-outside-the-lock mutant is caught —
+//! the lock placement, not the ordering strength, carries the protocol.
+//!
+//! The cell lives behind [`clampi_mc::shim::McAtomicU64`]: a plain
+//! `AtomicU64` in normal builds, the tracked model-checker cell under
+//! `--cfg clampi_mc` (the `mc-test` CI stage).
+
+use std::sync::atomic::Ordering;
+
+use clampi_mc::shim::McAtomicU64;
+
+/// Strictly-increasing window-global commit timestamp source.
+///
+/// See the module docs for the ordering contract. Callers must invoke
+/// [`CommitClock::stamp`] inside the ring lock of the target being
+/// written, and [`CommitClock::read`] inside the ring lock of the target
+/// being drained — the mc mutant tests demonstrate what breaks otherwise.
+#[derive(Debug)]
+pub struct CommitClock {
+    ts: McAtomicU64,
+}
+
+impl CommitClock {
+    /// A fresh clock at 0 (no write committed yet).
+    pub const fn new() -> Self {
+        CommitClock {
+            ts: McAtomicU64::new(0),
+        }
+    }
+
+    /// Assigns the next commit timestamp: advances the clock to
+    /// `max(clock + 1, now)` and returns the new value. Strictly
+    /// increasing across all callers (hence globally unique); tracks the
+    /// writer's virtual time `now` whenever that is ahead.
+    #[inline]
+    pub fn stamp(&self, now: u64) -> u64 {
+        self.ts
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cc| {
+                Some((cc + 1).max(now))
+            })
+            .map(|cc| (cc + 1).max(now))
+            .unwrap_or(now)
+    }
+
+    /// Samples the clock: every stamp assigned after this load (in the
+    /// cell's modification order) is strictly greater than the returned
+    /// value. Sample inside the ring lock to relate it to ring state.
+    #[inline]
+    pub fn read(&self) -> u64 {
+        self.ts.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CommitClock {
+    fn default() -> Self {
+        CommitClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_is_strictly_increasing_and_tracks_now() {
+        let c = CommitClock::new();
+        assert_eq!(c.read(), 0);
+        assert_eq!(c.stamp(0), 1);
+        assert_eq!(c.stamp(0), 2);
+        assert_eq!(c.stamp(10), 10, "jumps forward to the writer's now");
+        assert_eq!(c.stamp(5), 11, "never goes backwards");
+        assert_eq!(c.read(), 11);
+    }
+}
+
+/// Model checks of the shipped stamping protocol, compiled only under
+/// `--cfg clampi_mc` (the `mc-test` CI stage). These drive the *same*
+/// [`CommitClock::stamp`]/[`CommitClock::read`] code `window.rs` ships,
+/// with the facade swapped to tracked atomics.
+#[cfg(all(test, clampi_mc))]
+mod mc_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// `note_put`'s shape: two writers to one target, each stamping inside
+    /// the ring lock (or, for the mutant, just before it). The checked
+    /// property is the issue's #3: `PutRecord.ts` order matches version
+    /// order on every schedule.
+    fn stamping_body(stamp_inside_lock: bool) {
+        let clock = Arc::new(CommitClock::new());
+        let ring = Arc::new(clampi_mc::Mutex::with_label(
+            Vec::<(u64, u64)>::new(),
+            "ring",
+        ));
+        let mut writers = Vec::new();
+        for _ in 0..2 {
+            let clock = clock.clone();
+            let ring = ring.clone();
+            writers.push(clampi_mc::spawn(move || {
+                if stamp_inside_lock {
+                    let mut r = ring.lock();
+                    let ts = clock.stamp(0);
+                    let version = r.len() as u64 + 1;
+                    r.push((version, ts));
+                } else {
+                    let ts = clock.stamp(0); // MUTANT: ts taken before the lock
+                    let mut r = ring.lock();
+                    let version = r.len() as u64 + 1;
+                    r.push((version, ts));
+                }
+            }));
+        }
+        for w in writers {
+            w.join();
+        }
+        let r = ring.lock();
+        for pair in r.windows(2) {
+            assert!(
+                pair[1].1 > pair[0].1,
+                "commit ts order diverged from version order: {:?}",
+                *r
+            );
+        }
+    }
+
+    #[test]
+    fn mc_commit_ts_order_matches_version_order() {
+        let report = clampi_mc::check(clampi_mc::Config::default(), || stamping_body(true));
+        report.assert_pass();
+        assert!(!report.truncated, "unbounded exploration must be complete");
+    }
+
+    #[test]
+    fn mc_mutant_stamp_outside_ring_lock_caught() {
+        let report = clampi_mc::check(clampi_mc::Config::default(), || stamping_body(false));
+        let cx = report.expect_fail();
+        assert!(
+            cx.message.contains("diverged from version order"),
+            "got: {}",
+            cx.message
+        );
+    }
+
+    /// The horizon/drain side: a reader samples the clock inside the ring
+    /// lock and treats the sample as a cap — any put it did not observe in
+    /// the ring must carry a strictly larger timestamp.
+    #[test]
+    fn mc_snapshot_cap_certifies_validity() {
+        let report = clampi_mc::check(clampi_mc::Config::smoke(), || {
+            let clock = Arc::new(CommitClock::new());
+            let ring = Arc::new(clampi_mc::Mutex::with_label(
+                Vec::<(u64, u64)>::new(),
+                "ring",
+            ));
+            let (clock_w, ring_w) = (clock.clone(), ring.clone());
+            let writer = clampi_mc::spawn(move || {
+                let mut r = ring_w.lock();
+                let ts = clock_w.stamp(0);
+                let version = r.len() as u64 + 1;
+                r.push((version, ts));
+            });
+            // Drain: snapshot ring contents and the cap under the lock.
+            let (seen, cap) = {
+                let r = ring.lock();
+                (r.clone(), clock.read())
+            };
+            writer.join();
+            let all = ring.lock().clone();
+            for (version, ts) in &all {
+                if !seen.contains(&(*version, *ts)) {
+                    assert!(
+                        *ts > cap,
+                        "invisible put stamped at {ts} <= cap {cap}: cap is not a true bound"
+                    );
+                }
+            }
+        });
+        report.assert_pass();
+    }
+}

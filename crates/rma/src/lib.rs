@@ -59,6 +59,7 @@
 pub mod check;
 pub mod clock;
 pub mod collectives;
+pub mod commitclock;
 pub mod fault;
 pub mod lockmgr;
 pub mod netmodel;
@@ -69,6 +70,7 @@ pub mod window;
 
 pub use check::{AccessKind, CheckerConfig, PoisonSnapshot, SanDiag, SanHandle, SanKind};
 pub use clock::Clock;
+pub use commitclock::CommitClock;
 pub use fault::{FaultConfig, FaultDecision, FaultPlan, RankFailure, RmaError};
 pub use netmodel::{NetModel, TransferCost};
 pub use process::{run, run_collect, OpCounters, Process, RankReport, SimConfig};

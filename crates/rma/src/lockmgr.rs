@@ -206,23 +206,24 @@ mod tests {
         let entered2 = Arc::clone(&entered);
         let h = std::thread::spawn(move || {
             lm2.lock(LockKind::Shared, 0);
-            // SeqCst: test-only progress flag; strongest ordering keeps
-            // the interleaving argument trivial.
-            entered2.store(1, Ordering::SeqCst);
+            // Release: pairs with the Acquire loads in the parent; a
+            // progress flag needs no stronger order (audited: the only
+            // property is flag-set happens-before flag-observed).
+            entered2.store(1, Ordering::Release);
             lm2.unlock(0);
         });
 
         std::thread::sleep(std::time::Duration::from_millis(30));
-        // SeqCst: pairs with the store above.
+        // Acquire: pairs with the Release store above.
         assert_eq!(
-            entered.load(Ordering::SeqCst),
+            entered.load(Ordering::Acquire),
             0,
             "shared lock must wait for exclusive holder"
         );
         lm.unlock(0);
         h.join().unwrap();
-        // SeqCst: pairs with the store above.
-        assert_eq!(entered.load(Ordering::SeqCst), 1);
+        // Acquire: pairs with the Release store above.
+        assert_eq!(entered.load(Ordering::Acquire), 1);
     }
 
     #[test]
@@ -234,17 +235,17 @@ mod tests {
         let done2 = Arc::clone(&done);
         let h = std::thread::spawn(move || {
             lm2.lock(LockKind::Exclusive, 0);
-            // SeqCst: test-only progress flag, as above.
-            done2.store(1, Ordering::SeqCst);
+            // Release: test-only progress flag, as above.
+            done2.store(1, Ordering::Release);
             lm2.unlock(0);
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
-        // SeqCst: pairs with the store above.
-        assert_eq!(done.load(Ordering::SeqCst), 0);
+        // Acquire: pairs with the Release store above.
+        assert_eq!(done.load(Ordering::Acquire), 0);
         lm.unlock(0);
         h.join().unwrap();
-        // SeqCst: pairs with the store above.
-        assert_eq!(done.load(Ordering::SeqCst), 1);
+        // Acquire: pairs with the Release store above.
+        assert_eq!(done.load(Ordering::Acquire), 1);
     }
 
     #[test]

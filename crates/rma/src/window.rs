@@ -127,7 +127,7 @@ pub(crate) struct WinShared {
     /// `max(clock + 1, writer's virtual now)`, so timestamps are strictly
     /// increasing (hence globally unique), agree with per-target version
     /// order, and track virtual time whenever the writer's clock is ahead.
-    commit_ts: std::sync::atomic::AtomicU64,
+    commit_ts: crate::commitclock::CommitClock,
     /// Cross-rank RMASAN state (access log + atomic-sync clocks); `None`
     /// when the sanitizer is off.
     san: Option<WinSanShared>,
@@ -157,7 +157,7 @@ impl WinShared {
                 .collect(),
             sizes,
             pscw: PscwState::default(),
-            commit_ts: std::sync::atomic::AtomicU64::new(0),
+            commit_ts: crate::commitclock::CommitClock::new(),
             san: san_enabled.then(|| WinSanShared::new(ntargets)),
         }
     }
@@ -173,19 +173,13 @@ impl WinShared {
     /// `now` is the writer's virtual time in whole nanoseconds; the
     /// assigned timestamp is `max(commit_clock + 1, now)`.
     fn note_put(&self, target: usize, origin: usize, disp: u64, len: u64, now: u64) {
-        use std::sync::atomic::Ordering;
         let mut ring = sync::lock(&self.notify[target]);
-        // Assigned inside the ring lock, so per-target timestamp order
+        // Stamped inside the ring lock, so per-target timestamp order
         // matches version order; strict global growth makes it unique.
-        let ts = self
-            .commit_ts
-            // SeqCst: snapshot readers load this clock lock-free and
-            // reason about one total order with this RMW.
-            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cc| {
-                Some((cc + 1).max(now))
-            })
-            .map(|cc| (cc + 1).max(now))
-            .unwrap_or(now);
+        // (Ordering contract and the SeqCst→Relaxed downgrade rationale
+        // live on `CommitClock`; `mc_commit_ts_order_matches_version_order`
+        // model-checks this exact call shape.)
+        let ts = self.commit_ts.stamp(now);
         ring.version += 1;
         ring.last_ts = ts;
         let version = ring.version;
@@ -1214,13 +1208,11 @@ impl Window {
             last_ts: ring.last_ts,
             dropped_through: ring.dropped_through,
             dropped_through_ts: ring.dropped_through_ts,
-            now_ts: self
-                .shared
-                .commit_ts
-                // SeqCst: pairs with note_put's SeqCst RMW — a put not
-                // yet in the ring fields above commits later, so it
-                // gets a timestamp > this load (now_ts is a true cap).
-                .load(std::sync::atomic::Ordering::SeqCst),
+            // Sampled inside the ring lock: a put not yet in the ring
+            // fields above runs note_put's stamp after this read, so it
+            // gets a timestamp > this value (now_ts is a true cap; see
+            // `CommitClock` for why Relaxed suffices).
+            now_ts: self.shared.commit_ts.read(),
         }
     }
 
@@ -1274,11 +1266,7 @@ impl Window {
             // visible in this drain runs note_put after this critical
             // section, so its timestamp will exceed now_ts — the cap a
             // snapshot reader may trust.
-            let now_ts = self
-                .shared
-                .commit_ts
-                // SeqCst: one total order with note_put's SeqCst RMW.
-                .load(std::sync::atomic::Ordering::SeqCst);
+            let now_ts = self.shared.commit_ts.read();
             if ring.dropped_through > cursor {
                 (ring.version, 0usize, true, now_ts)
             } else {

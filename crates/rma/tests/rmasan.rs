@@ -305,3 +305,53 @@ fn prop_checker_is_observation_only() {
         }
     });
 }
+
+/// The `TsRegression` clean pair: a put-then-drain workload exercising the
+/// commit-clock stamping end to end collects zero diagnostics, and the
+/// drained records (versions *and* timestamps) are bit-identical with the
+/// checker on and off — `check_drain`'s timestamp bookkeeping observes,
+/// never perturbs.
+#[test]
+fn drained_commit_timestamps_clean_and_checker_invariant() {
+    let workload = |p: &mut clampi_rma::Process| {
+        let mut win = p.win_allocate(256);
+        p.barrier();
+        let drained = if p.rank() == 0 {
+            win.lock_all(p);
+            for i in 0..4u64 {
+                win.put(p, &[i as u8; 8], 1, 8 * i as usize, &Datatype::bytes(8), 1);
+            }
+            win.flush(p, 1);
+            let mut out = Vec::new();
+            // Two drains: the second resumes from the first's cursor, so
+            // the timestamp monotonicity check also spans drains.
+            let d1 = win.try_drain_notifications(p, 1, 0, &mut out).unwrap();
+            assert_eq!((d1.drained, d1.overflowed), (4, false));
+            let d2 = win
+                .try_drain_notifications(p, 1, d1.version, &mut out)
+                .unwrap();
+            assert_eq!(d2.drained, 0);
+            win.unlock_all(p);
+            out.iter().map(|r| (r.version, r.ts)).collect()
+        } else {
+            Vec::new()
+        };
+        p.barrier();
+        drained
+    };
+    let off = run_collect(SimConfig::default(), 2, workload);
+    let (cfg, handle) = CheckerConfig::collect();
+    let on = run_collect(SimConfig::default().with_checker(cfg), 2, workload);
+    assert_eq!(handle.take(), vec![], "clean drains must collect nothing");
+    assert_eq!(
+        off.iter().map(|(_, v)| v).collect::<Vec<_>>(),
+        on.iter().map(|(_, v)| v).collect::<Vec<_>>(),
+        "drained (version, ts) pairs must be bit-identical checker on/off"
+    );
+    let records = &off[0].1;
+    assert_eq!(records.len(), 4);
+    assert!(
+        records.windows(2).all(|w| w[0].1 < w[1].1),
+        "timestamps strictly increase in version order: {records:?}"
+    );
+}

@@ -1,6 +1,6 @@
 //! `xlint` — the workspace's in-tree, dependency-free lint pass.
 //!
-//! Six rules, all lexical: sources are stripped of comments and string
+//! Seven rules, all lexical: sources are stripped of comments and string
 //! literals before matching, so prose and message text never trip a rule.
 //!
 //! | rule             | scope                         | what it enforces            |
@@ -11,13 +11,14 @@
 //! | `safety-comment` | every `.rs`                   | each `unsafe` carries a `// SAFETY:` comment nearby |
 //! | `no-println`     | sim-path crates, `src/`       | no `print!`/`println!` — binaries own stdout |
 //! | `no-bare-seqcst` | every `.rs`                   | each `Ordering::SeqCst` carries a comment saying why a weaker ordering won't do |
+//! | `no-bare-fence`  | every `.rs`                   | each standalone `fence(...)`/`mc_fence(...)` carries a "pairs with" comment naming its matching site |
 //!
 //! Escapes: append `// xlint: allow(<rule>)` to the offending line or put
 //! it on the line directly above. A `#[cfg(test)]` attribute suppresses
 //! `no-unwrap`, `no-std-time` and `no-println` from that line to end of
-//! file (`safety-comment` and `no-bare-seqcst` stay active: test `unsafe`
-//! still needs a `// SAFETY:`, and test atomics still document their
-//! ordering).
+//! file (`safety-comment`, `no-bare-seqcst` and `no-bare-fence` stay
+//! active: test `unsafe` still needs a `// SAFETY:`, and test atomics
+//! still document their ordering and fence pairings).
 //!
 //! Usage:
 //!   xlint [--root DIR] [--rule a,b] [--list] [--self-test [RULE]]
@@ -35,7 +36,15 @@ use std::process::ExitCode;
 /// Crates whose `src/` is simulation-path code: they run under the
 /// virtual clock and must not read wall-clock time or chat on stdout.
 /// (`bench` is exempt — its binaries own stdout and time real builds.)
-const SIM_CRATES: &[&str] = &["rma", "clampi", "datatype", "workloads", "apps", "prng"];
+const SIM_CRATES: &[&str] = &[
+    "rma",
+    "clampi",
+    "datatype",
+    "workloads",
+    "apps",
+    "prng",
+    "mc",
+];
 
 /// Crates whose `src/` must not panic via `.unwrap()`/`.expect(`. The
 /// apps crate is in scope because its data structures (DHT buckets,
@@ -71,6 +80,10 @@ const RULES: &[(&str, &str)] = &[
     (
         "no-bare-seqcst",
         "every Ordering::SeqCst carries a comment mentioning SeqCst within 3 lines (default to weaker orderings)",
+    ),
+    (
+        "no-bare-fence",
+        "every standalone fence()/mc_fence() carries a `pairs with` comment naming its matching acquire/release site within 3 lines",
     ),
 ];
 
@@ -249,6 +262,31 @@ fn has_token(line: &str, tok: &str) -> bool {
     false
 }
 
+/// Standalone fence call: `fence(` or `mc_fence(` at an ident boundary,
+/// excluding method calls (`win.fence(p)` — MPI's collective, not an
+/// atomic fence) and declarations (`fn fence(`). Paths (`mc::fence(`,
+/// `std::sync::atomic::fence(`) stay in scope: those are the calls whose
+/// ordering pairing the rule wants documented.
+fn has_fence_call(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for tok in ["mc_fence", "fence"] {
+        let mut start = 0;
+        while let Some(pos) = line[start..].find(tok) {
+            let p = start + pos;
+            let before_ok = p == 0 || !is_ident(bytes[p - 1] as char);
+            let after = p + tok.len();
+            if before_ok && after < bytes.len() && bytes[after] == b'(' {
+                let prev = line[..p].trim_end();
+                if !prev.ends_with('.') && !prev.ends_with("fn") {
+                    return true;
+                }
+            }
+            start = p + 1;
+        }
+    }
+    false
+}
+
 /// Macro invocation `name!` with an ident boundary before `name`.
 fn has_macro(line: &str, name: &str) -> bool {
     let bytes = line.as_bytes();
@@ -283,7 +321,7 @@ fn rust_rule_in_scope(rule: &str, rel: &str) -> bool {
     match rule {
         "no-std-time" | "no-println" => in_crate_src(rel, SIM_CRATES),
         "no-unwrap" => in_crate_src(rel, UNWRAP_CRATES),
-        "safety-comment" | "no-bare-seqcst" => true,
+        "safety-comment" | "no-bare-seqcst" | "no-bare-fence" => true,
         _ => false,
     }
 }
@@ -305,7 +343,11 @@ fn scan_rust(raw: &str, rel: &str, rules: &[&'static str], force_scope: bool) ->
             if rule == "hermeticity" || (!force_scope && !rust_rule_in_scope(rule, rel)) {
                 continue;
             }
-            if idx >= test_from && rule != "safety-comment" && rule != "no-bare-seqcst" {
+            if idx >= test_from
+                && rule != "safety-comment"
+                && rule != "no-bare-seqcst"
+                && rule != "no-bare-fence"
+            {
                 continue;
             }
             let msg: Option<String> = match rule {
@@ -348,6 +390,29 @@ fn scan_rust(raw: &str, rel: &str, rules: &[&'static str], force_scope: bool) ->
                         } else {
                             Some(
                                 "bare Ordering::SeqCst (say why Acquire/Release won't do, or use them)"
+                                    .into(),
+                            )
+                        }
+                    } else {
+                        None
+                    }
+                }
+                "no-bare-fence" => {
+                    if has_fence_call(line) {
+                        // A fence synchronizes only as one half of a pair;
+                        // the comment must name the other half. Checked
+                        // against the raw text (comments are blanked in
+                        // the stripped view), case-insensitively.
+                        let lo = idx.saturating_sub(SAFETY_WINDOW);
+                        let justified = raw_lines[lo..=idx].iter().any(|l| {
+                            l.find("//")
+                                .is_some_and(|p| l[p..].to_ascii_lowercase().contains("pairs with"))
+                        });
+                        if justified {
+                            None
+                        } else {
+                            Some(
+                                "bare fence (add a `pairs with ...` comment naming the matching acquire/release site)"
                                     .into(),
                             )
                         }
@@ -579,6 +644,7 @@ const LINT_FIXTURES: &[(&str, &str, usize)] = &[
     ("bad_unsafe.rs", "safety-comment", 1),
     ("bad_println.rs", "no-println", 1),
     ("bad_seqcst.rs", "no-bare-seqcst", 2),
+    ("bad_fence.rs", "no-bare-fence", 2),
     ("clean.rs", "", 0),
 ];
 
@@ -875,6 +941,37 @@ mod tests {
         let vs = scan_rust(src, "crates/rma/src/x.rs", &["no-bare-seqcst"], false);
         assert_eq!(vs.len(), 1, "{vs:?}");
         assert_eq!(vs[0].line, 3, "cfg(test) must not suppress the rule");
+    }
+
+    #[test]
+    fn fence_rule_matches_calls_not_methods_or_decls() {
+        assert!(has_fence_call("    fence(Ordering::Release);"));
+        assert!(has_fence_call("    mc_fence(Ordering::Acquire);"));
+        assert!(has_fence_call("    std::sync::atomic::fence(ord);"));
+        assert!(has_fence_call("    mc::fence(Release);"));
+        assert!(!has_fence_call("    win.fence(p);"), "method call exempt");
+        assert!(
+            !has_fence_call("pub fn fence(ord: Ordering) {"),
+            "decl exempt"
+        );
+        assert!(!has_fence_call("    on_fence();"), "ident boundary");
+        assert!(!has_fence_call("use std::sync::atomic::fence;"), "no call");
+    }
+
+    #[test]
+    fn fence_rule_wants_pairing_comment_within_window() {
+        let ok = "// Pairs with the Acquire fence in read_validate.\nfence(Ordering::Release);\n";
+        assert_eq!(scan_rust(ok, "x.rs", &["no-bare-fence"], true).len(), 0);
+        let inline = "fence(Ordering::Acquire); // pairs with write_begin's Release fence\n";
+        assert_eq!(scan_rust(inline, "x.rs", &["no-bare-fence"], true).len(), 0);
+        let far = "// pairs with the reader\n//\n//\n//\nfence(Ordering::Release);\n";
+        assert_eq!(scan_rust(far, "x.rs", &["no-bare-fence"], true).len(), 1);
+        let bare = "#[cfg(test)]\nmod t {\n    fn f() { fence(Ordering::Release); }\n}\n";
+        let vs = scan_rust(bare, "x.rs", &["no-bare-fence"], true);
+        assert_eq!(vs.len(), 1, "cfg(test) must not suppress: {vs:?}");
+        // Prose in comments must not count as a call site.
+        let prose = "// a writer does `fence(Release)`, mutates, stores\nlet x = 1;\n";
+        assert_eq!(scan_rust(prose, "x.rs", &["no-bare-fence"], true).len(), 0);
     }
 
     #[test]
